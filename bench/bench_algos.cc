@@ -1,0 +1,142 @@
+// Experiment E9 — the extension operations (Sahni's fundamental ops)
+// inherit the Theorem 2 budget: data sum and prefix sum cost exactly
+// log2(n) * 2*ceil(d/g) slots on any POPS shape, and the results are
+// verified against scalar references.
+#include <algorithm>
+#include <numeric>
+
+#include "bench_common.h"
+#include "algos/data_ops.h"
+#include "algos/hypercube_sim.h"
+#include "algos/matmul.h"
+#include "algos/sorting.h"
+#include "support/format.h"
+#include "support/prng.h"
+#include "support/table.h"
+
+namespace pops::bench {
+namespace {
+
+void print_tables() {
+  std::cout << "=== E9: data operations on POPS (slots, verified) ===\n";
+  Rng rng(9);
+  Table table({"topology", "n", "op", "slots", "formula", "correct"});
+  for (const auto& [d, g] :
+       {std::pair{1, 16}, {4, 4}, {8, 4}, {16, 4}, {8, 8}, {32, 2}}) {
+    const Topology topo(d, g);
+    const int n = topo.processor_count();
+    int dims = 0;
+    while ((1 << dims) < n) ++dims;
+    const int step = theorem2_slots(topo);
+
+    std::vector<std::uint64_t> values(as_size(n));
+    for (auto& v : values) v = rng.next_below(100);
+    const std::uint64_t total =
+        std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+
+    const CollectiveRun sum = data_sum(topo, values);
+    bool sum_ok = true;
+    for (const auto v : sum.values) sum_ok = sum_ok && v == total;
+    table.add(topo.to_string(), n, "data_sum", sum.slots_used,
+              str_cat(dims, "*", step, "=", dims * step),
+              sum_ok ? "yes" : "NO");
+
+    const CollectiveRun scan = prefix_sum(topo, values);
+    bool scan_ok = true;
+    std::uint64_t acc = 0;
+    for (int i = 0; i < n; ++i) {
+      acc += values[as_size(i)];
+      scan_ok = scan_ok && scan.values[as_size(i)] == acc;
+    }
+    table.add(topo.to_string(), n, "prefix_sum", scan.slots_used,
+              str_cat(dims, "*", step, "=", dims * step),
+              scan_ok ? "yes" : "NO");
+
+    const CollectiveRun adj = adjacent_sum(topo, values);
+    bool adj_ok = true;
+    for (int i = 0; i < n; ++i) {
+      adj_ok = adj_ok && adj.values[as_size(i)] ==
+                             values[as_size(i)] +
+                                 values[as_size((i + 1) % n)];
+    }
+    table.add(topo.to_string(), n, "adjacent_sum", adj.slots_used,
+              str_cat(step), adj_ok ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::cout << "Expected shape: slots == formula on every row; correctness\n"
+               "columns all yes. The ops cost is purely the routed\n"
+               "communication — the Theorem 2 budget per hypercube step.\n\n";
+
+  std::cout << "=== E9b: composite kernels (bitonic sort, Cannon matmul) "
+               "===\n";
+  Table composite(
+      {"topology", "kernel", "comm steps", "slots", "correct"});
+  for (const auto& [d, g] : {std::pair{4, 4}, {8, 2}, {2, 8}, {8, 8}}) {
+    const Topology topo(d, g);
+    const int n = topo.processor_count();
+
+    std::vector<std::uint64_t> values(as_size(n));
+    for (auto& v : values) v = rng.next_below(1000);
+    const CollectiveRun sorted = bitonic_sort(topo, values);
+    composite.add(topo.to_string(), "bitonic_sort",
+                  bitonic_phase_count(n), sorted.slots_used,
+                  std::is_sorted(sorted.values.begin(),
+                                 sorted.values.end())
+                      ? "yes"
+                      : "NO");
+
+    const CollectiveRun oe = odd_even_transposition_sort(topo, values);
+    composite.add(topo.to_string(), "odd_even_sort", n, oe.slots_used,
+                  std::is_sorted(oe.values.begin(), oe.values.end())
+                      ? "yes"
+                      : "NO");
+
+    int mesh = 1;
+    while (mesh * mesh < n) ++mesh;
+    if (mesh * mesh == n) {
+      std::vector<std::uint64_t> a(as_size(n));
+      std::vector<std::uint64_t> b(as_size(n));
+      for (auto& v : a) v = rng.next_below(10);
+      for (auto& v : b) v = rng.next_below(10);
+      const MatmulRun mm = cannon_matmul(topo, mesh, a, b);
+      composite.add(topo.to_string(), "cannon_matmul",
+                    mm.permutations_routed, mm.slots_used,
+                    mm.c == reference_matmul(mesh, a, b) ? "yes" : "NO");
+    }
+  }
+  composite.print(std::cout);
+  std::cout << "Expected shape: sort costs D*(D+1)/2 routed exchanges and\n"
+               "matmul (2 + 2*(N-1)) routed permutations, each priced at\n"
+               "the Theorem 2 budget of its shape.\n\n";
+}
+
+void BM_DataSum(benchmark::State& state) {
+  const Topology topo(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  Rng rng(54);
+  std::vector<std::uint64_t> values(as_size(topo.processor_count()));
+  for (auto& v : values) v = rng.next_below(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data_sum(topo, values));
+  }
+}
+BENCHMARK(BM_DataSum)->Args({4, 4})->Args({8, 8});
+
+void BM_HypercubeExchange(benchmark::State& state) {
+  const Topology topo(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  const HypercubeSimulator sim(topo);
+  Rng rng(55);
+  std::vector<std::uint64_t> values(as_size(topo.processor_count()));
+  for (auto& v : values) v = rng.next_below(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.exchange(values, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * topo.processor_count());
+}
+BENCHMARK(BM_HypercubeExchange)->Args({8, 8})->Args({16, 16});
+
+}  // namespace
+}  // namespace pops::bench
+
+POPSNET_BENCH_MAIN(pops::bench::print_tables)

@@ -1,0 +1,44 @@
+// Shared helpers for the experiment harness (bench/ binaries).
+//
+// Every binary prints its experiment table (the paper-shaped artifact)
+// first, then runs its google-benchmark timings. All schedules that feed a
+// table are executed on the strict simulator and verified — a table row is
+// only printed for a verified run.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+#include "routing/router.h"
+#include "routing/verify.h"
+#include "support/check.h"
+
+namespace pops::bench {
+
+/// Routes, executes and verifies; returns the slot count. Aborts the
+/// binary on any verification failure (a bench must never report numbers
+/// from a broken schedule).
+inline int verified_slot_count(const Topology& topo, const Permutation& pi,
+                               const RouterOptions& options = {}) {
+  const RoutePlan plan = route_permutation(topo, pi, options);
+  const VerificationResult vr = verify_schedule(topo, pi, plan.slots);
+  POPS_CHECK(vr.ok, "benchmark schedule failed verification: " + vr.failure);
+  return plan.slot_count();
+}
+
+/// Standard main body: print the table, then run benchmarks.
+#define POPSNET_BENCH_MAIN(print_tables)                       \
+  int main(int argc, char** argv) {                            \
+    print_tables();                                            \
+    ::benchmark::Initialize(&argc, argv);                      \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                                \
+    }                                                          \
+    ::benchmark::RunSpecifiedBenchmarks();                     \
+    ::benchmark::Shutdown();                                   \
+    return 0;                                                  \
+  }
+
+}  // namespace pops::bench

@@ -1,0 +1,96 @@
+// Experiment E3 — Remark 1: the cost of computing the routing.
+//
+// Paper claim: the bottleneck is 1-factorizing a regular bipartite
+// multigraph; O(g^3) or O(g^2 log g) when d <= g, O(dn) or O(n log d)
+// when d > g, depending on the edge-coloring algorithm. We time the fair
+// distribution step for all three backends on both sweeps and print the
+// growth ratios (time(2x) / time(x)); the backends should separate by
+// their asymptotic slopes.
+#include <map>
+
+#include "bench_common.h"
+#include "routing/fair_distribution.h"
+#include "routing/list_system.h"
+#include "support/format.h"
+#include "support/prng.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace pops::bench {
+namespace {
+
+double time_fair(const Topology& topo, ColoringAlgorithm algorithm,
+                 Rng& rng) {
+  const Permutation pi = Permutation::random(topo.processor_count(), rng);
+  const ListSystem ls = list_system_from_permutation(topo, pi);
+  // Median of 3 runs.
+  double best = 1e99;
+  for (int rep = 0; rep < 3; ++rep) {
+    Timer timer;
+    benchmark::DoNotOptimize(fair_distribution(ls, algorithm));
+    best = std::min(best, timer.seconds());
+  }
+  return best;
+}
+
+void print_tables() {
+  Rng rng(3);
+  auto row = [&](Table& table, int key, const Topology& topo) {
+    std::vector<std::string> cells{std::to_string(key)};
+    for (const auto algorithm : kAllColoringAlgorithms) {
+      cells.push_back(
+          format_double(time_fair(topo, algorithm, rng) * 1e6, 1));
+    }
+    table.add_row(std::move(cells));
+  };
+  std::cout << "=== E3: fair-distribution cost (Remark 1), d == g sweep ===\n";
+  {
+    Table table({"g (d=g)", "alternating-path us", "euler-split us",
+                 "matching-peel us", "circuit-peel us"});
+    for (const int g : {8, 16, 32, 64, 128}) {
+      row(table, g, Topology(g, g));
+    }
+    table.print(std::cout);
+  }
+  std::cout << "\n=== E3b: d > g sweep (g = 8 fixed) ===\n";
+  {
+    Table table({"d (g=8)", "alternating-path us", "euler-split us",
+                 "matching-peel us", "circuit-peel us"});
+    for (const int d : {16, 32, 64, 128, 256}) {
+      row(table, d, Topology(d, 8));
+    }
+    table.print(std::cout);
+  }
+  std::cout << "Expected shape: matching-peel grows fastest (extra sqrt(n)\n"
+               "factor); euler-split and circuit-peel track the sub-O(Dm)\n"
+               "bounds of Remark 1; alternating-path sits in between on\n"
+               "these dense instances.\n\n";
+}
+
+void BM_FairDistribution(benchmark::State& state) {
+  const Topology topo(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  const auto algorithm = static_cast<ColoringAlgorithm>(state.range(2));
+  Rng rng(44);
+  const Permutation pi = Permutation::random(topo.processor_count(), rng);
+  const ListSystem ls = list_system_from_permutation(topo, pi);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fair_distribution(ls, algorithm));
+  }
+  state.SetLabel(to_string(algorithm));
+}
+BENCHMARK(BM_FairDistribution)
+    ->Args({32, 32, 0})
+    ->Args({32, 32, 1})
+    ->Args({32, 32, 2})
+    ->Args({128, 128, 0})
+    ->Args({128, 128, 1})
+    ->Args({128, 128, 2})
+    ->Args({128, 8, 0})
+    ->Args({128, 8, 1})
+    ->Args({128, 8, 2});
+
+}  // namespace
+}  // namespace pops::bench
+
+POPSNET_BENCH_MAIN(pops::bench::print_tables)

@@ -1,0 +1,70 @@
+// Experiment E5 — optimality (Propositions 1-3).
+//
+// For each permutation class the paper bounds, compare the measured slot
+// count of the Theorem 2 routing against the applicable lower bound:
+//   derangements            : LB = ceil(d/g), ratio <= 2       (Prop 1)
+//   group-block, group-moving: LB = 2*ceil(d/g), ratio = 1     (Prop 2)
+//   group-block, group-fixed : LB = 2*ceil(d/(g+1))            (Prop 3)
+#include "bench_common.h"
+#include "perm/families.h"
+#include "routing/bounds.h"
+#include "support/format.h"
+#include "support/prng.h"
+#include "support/table.h"
+
+namespace pops::bench {
+namespace {
+
+void add_row(Table& table, const char* klass, const Topology& topo,
+             const Permutation& pi) {
+  const int measured = verified_slot_count(topo, pi);
+  const int bound = lower_bound_slots(topo, pi);
+  table.add(klass, topo.to_string(), bound, measured,
+            bound > 0 ? format_double(static_cast<double>(measured) /
+                                          static_cast<double>(bound),
+                                      2)
+                      : "-");
+}
+
+void print_tables() {
+  std::cout << "=== E5: lower bounds vs. measured Theorem 2 slots ===\n";
+  Rng rng(5);
+  Table table({"class", "topology", "lower bound", "measured", "ratio"});
+  for (const auto& [d, g] :
+       {std::pair{4, 4}, {8, 4}, {16, 4}, {12, 3}, {4, 8}, {32, 8}}) {
+    const Topology topo(d, g);
+    const int n = topo.processor_count();
+
+    add_row(table, "derangement (Prop 1)", topo,
+            Permutation::random_derangement(n, rng));
+    add_row(table, "group-block moving (Prop 2)", topo,
+            group_rotation(d, g, 1));
+    add_row(table, "vector reversal (Prop 2)", topo, vector_reversal(n));
+
+    // Prop 3 family: groups fixed, every packet moved within its group.
+    std::vector<Permutation> within(as_size(g), cyclic_shift(d, 1));
+    add_row(table, "group-block fixed (Prop 3)", topo,
+            group_block(d, g, Permutation::identity(g), within));
+  }
+  table.print(std::cout);
+  std::cout << "Expected shape: ratio == 1.00 on the Prop 2 rows (Theorem 2\n"
+               "is exactly optimal there); ratio <= 2.00 everywhere else,\n"
+               "approaching 2 on the Prop 1 and Prop 3 rows.\n\n";
+}
+
+void BM_LowerBound(benchmark::State& state) {
+  const Topology topo(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  Rng rng(48);
+  const Permutation pi =
+      Permutation::random_derangement(topo.processor_count(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lower_bound_slots(topo, pi));
+  }
+}
+BENCHMARK(BM_LowerBound)->Args({16, 16})->Args({64, 8});
+
+}  // namespace
+}  // namespace pops::bench
+
+POPSNET_BENCH_MAIN(pops::bench::print_tables)

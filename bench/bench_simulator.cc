@@ -1,0 +1,97 @@
+// Experiment E8 — substrate engineering: throughput of the strict
+// simulator itself (packets moved per second under full validation).
+#include "bench_common.h"
+#include "perm/families.h"
+#include "pops/network.h"
+#include "pops/patterns.h"
+#include "support/format.h"
+#include "support/prng.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace pops::bench {
+namespace {
+
+void print_tables() {
+  std::cout << "=== E8: simulator throughput (validated packet-slots/s) "
+               "===\n";
+  Table table({"topology", "n", "slots/schedule", "Mpacket-slots/s",
+               "coupler util %"});
+  Rng rng(8);
+  for (const auto& [d, g] :
+       {std::pair{8, 8}, {16, 16}, {32, 32}, {64, 16}, {16, 64}}) {
+    const Topology topo(d, g);
+    const int n = topo.processor_count();
+    const Permutation pi = Permutation::random(n, rng);
+    const RoutePlan plan = route_permutation(topo, pi);
+    Network net(topo);
+
+    const int reps = 20;
+    Timer timer;
+    for (int rep = 0; rep < reps; ++rep) {
+      net.load_permutation_traffic(pi);
+      net.execute(plan.slots);
+      POPS_CHECK(net.all_delivered(), "benchmark schedule broke");
+    }
+    const double seconds = timer.seconds();
+    const double packet_slots =
+        static_cast<double>(reps) * static_cast<double>(n) *
+        static_cast<double>(plan.slot_count());
+    table.add(topo.to_string(), n, plan.slot_count(),
+              format_double(packet_slots / seconds / 1e6, 2),
+              format_double(
+                  net.stats().average_coupler_utilization() * 100, 1));
+  }
+  table.print(std::cout);
+  std::cout << "Expected shape: throughput grows with n until validation\n"
+               "overhead (per-coupler bookkeeping) dominates; utilization\n"
+               "is ~100% for d >= g (all g^2 couplers busy every slot).\n\n";
+}
+
+void BM_ExecuteSchedule(benchmark::State& state) {
+  const Topology topo(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  Rng rng(52);
+  const Permutation pi = Permutation::random(topo.processor_count(), rng);
+  const RoutePlan plan = route_permutation(topo, pi);
+  Network net(topo);
+  for (auto _ : state) {
+    net.load_permutation_traffic(pi);
+    net.execute(plan.slots);
+  }
+  state.SetItemsProcessed(state.iterations() * topo.processor_count() *
+                          plan.slot_count());
+}
+BENCHMARK(BM_ExecuteSchedule)->Args({16, 16})->Args({32, 32})->Args({64, 16});
+
+void BM_Broadcast(benchmark::State& state) {
+  const Topology topo(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  const SlotPlan plan = one_to_all(topo, 0);
+  Network net(topo);
+  for (auto _ : state) {
+    net.reset();
+    net.load_packet(Packet{-1, 0, 0, 1, 0});
+    net.execute_slot(plan);
+  }
+  state.SetItemsProcessed(state.iterations() * topo.processor_count());
+}
+BENCHMARK(BM_Broadcast)->Args({32, 32})->Args({64, 64});
+
+void BM_LoadTraffic(benchmark::State& state) {
+  const Topology topo(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  Rng rng(53);
+  const Permutation pi = Permutation::random(topo.processor_count(), rng);
+  Network net(topo);
+  for (auto _ : state) {
+    net.load_permutation_traffic(pi);
+  }
+  state.SetItemsProcessed(state.iterations() * topo.processor_count());
+}
+BENCHMARK(BM_LoadTraffic)->Args({64, 64});
+
+}  // namespace
+}  // namespace pops::bench
+
+POPSNET_BENCH_MAIN(pops::bench::print_tables)

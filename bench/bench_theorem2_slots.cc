@@ -1,0 +1,85 @@
+// Experiment E1 — the Theorem 2 table.
+//
+// Paper claim: POPS(d,g) routes ANY permutation in 1 slot (d = 1) and
+// 2*ceil(d/g) slots (d > 1). The table sweeps the (d, g) grid and several
+// permutation classes; "measured" is the slot count of an executed,
+// verified schedule. Every row must satisfy measured == formula.
+#include <vector>
+
+#include "bench_common.h"
+#include "perm/families.h"
+#include "pops/network.h"
+#include "support/prng.h"
+#include "support/table.h"
+
+namespace pops::bench {
+namespace {
+
+void print_tables() {
+  std::cout << "=== E1: Theorem 2 slot counts (measured vs. formula) ===\n";
+  Table table({"topology", "n", "formula", "random", "derangement",
+               "reversal", "group-rot", "identity"});
+  Rng rng(1);
+  for (const int d : {1, 2, 4, 8, 16, 32}) {
+    for (const int g : {1, 2, 4, 8, 16, 32}) {
+      const Topology topo(d, g);
+      const int n = topo.processor_count();
+      const int random_slots =
+          verified_slot_count(topo, Permutation::random(n, rng));
+      const int derangement_slots =
+          n > 1
+              ? verified_slot_count(topo,
+                                    Permutation::random_derangement(n, rng))
+              : random_slots;
+      const int reversal_slots =
+          verified_slot_count(topo, vector_reversal(n));
+      const int rot_slots = verified_slot_count(
+          topo, group_rotation(d, g, g > 1 ? 1 : 0));
+      const int id_slots =
+          verified_slot_count(topo, Permutation::identity(n));
+      table.add(topo.to_string(), n, theorem2_slots(topo), random_slots,
+                derangement_slots, reversal_slots, rot_slots, id_slots);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "Expected shape: every measured column equals the formula "
+               "column.\n\n";
+}
+
+void BM_RoutePermutation(benchmark::State& state) {
+  const Topology topo(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  Rng rng(42);
+  const Permutation pi = Permutation::random(topo.processor_count(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_permutation(topo, pi));
+  }
+  state.SetItemsProcessed(state.iterations() * topo.processor_count());
+}
+BENCHMARK(BM_RoutePermutation)
+    ->Args({4, 4})
+    ->Args({16, 16})
+    ->Args({64, 8})
+    ->Args({8, 64})
+    ->Args({32, 32});
+
+void BM_RouteAndExecute(benchmark::State& state) {
+  const Topology topo(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  Rng rng(43);
+  const Permutation pi = Permutation::random(topo.processor_count(), rng);
+  const RoutePlan plan = route_permutation(topo, pi);
+  Network net(topo);
+  for (auto _ : state) {
+    net.load_permutation_traffic(pi);
+    net.execute(plan.slots);
+    benchmark::DoNotOptimize(net.all_delivered());
+  }
+  state.SetItemsProcessed(state.iterations() * topo.processor_count());
+}
+BENCHMARK(BM_RouteAndExecute)->Args({4, 4})->Args({16, 16})->Args({32, 32});
+
+}  // namespace
+}  // namespace pops::bench
+
+POPSNET_BENCH_MAIN(pops::bench::print_tables)

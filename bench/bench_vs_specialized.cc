@@ -1,0 +1,118 @@
+// Experiment E6 — "unifies and generalizes the known results".
+//
+// The permutations that prior work (Sahni 2000a/b, Gravenstreter & Melhem)
+// routed with per-family algorithms, all routed here by the single general
+// router. Two checks:
+//   (a) the general router meets the same 2*ceil(d/g) slot budget the
+//       specialized results promise, on every family;
+//   (b) for the group-block families, the O(n) closed-form router produces
+//       equally valid schedules, orders of magnitude faster to construct.
+#include "bench_common.h"
+#include "perm/bpc.h"
+#include "perm/families.h"
+#include "routing/specialized.h"
+#include "support/format.h"
+#include "support/prng.h"
+#include "support/table.h"
+#include "support/timer.h"
+
+namespace pops::bench {
+namespace {
+
+void print_tables() {
+  std::cout << "=== E6: general router vs. prior-art families ===\n";
+  {
+    Table table({"family", "topology", "slots (general)", "formula",
+                 "matches"});
+    for (const auto& [d, g] : {std::pair{8, 8}, {16, 4}, {4, 16}}) {
+      const Topology topo(d, g);
+      const int n = topo.processor_count();
+      int k = 0;
+      while ((1 << k) < n) ++k;
+
+      struct Case {
+        std::string name;
+        Permutation pi;
+      };
+      std::vector<Case> cases;
+      cases.push_back({"hypercube bit 0", hypercube_neighbor(n, 0)});
+      cases.push_back({"hypercube bit k-1", hypercube_neighbor(n, k - 1)});
+      cases.push_back({"vector reversal", vector_reversal(n)});
+      cases.push_back({"bit reversal (BPC)",
+                       Bpc::bit_reversal(k).to_permutation()});
+      cases.push_back({"perfect shuffle (BPC)",
+                       Bpc::perfect_shuffle(k).to_permutation()});
+      cases.push_back({"transpose (BPC)",
+                       Bpc::matrix_transpose(k / 2, k - k / 2)
+                           .to_permutation()});
+      const int mesh = 1 << (k / 2);
+      if (mesh * mesh == n) {
+        cases.push_back({"torus shift +i", torus_shift(mesh, 0, +1)});
+        cases.push_back({"torus shift -j", torus_shift(mesh, 1, -1)});
+      }
+      for (const auto& c : cases) {
+        const int measured = verified_slot_count(topo, c.pi);
+        table.add(c.name, topo.to_string(), measured, theorem2_slots(topo),
+                  measured == theorem2_slots(topo) ? "yes" : "NO");
+      }
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\n=== E6b: construction cost, general vs. closed-form "
+               "(group-block) ===\n";
+  {
+    Table table({"topology", "general us", "closed-form us", "speedup"});
+    Rng rng(6);
+    for (const auto& [d, g] :
+         {std::pair{16, 16}, {64, 16}, {16, 64}, {128, 32}}) {
+      const Topology topo(d, g);
+      const Permutation pi = random_group_block(d, g, rng, true);
+      double general_s = 1e99;
+      double special_s = 1e99;
+      for (int rep = 0; rep < 3; ++rep) {
+        Timer t1;
+        benchmark::DoNotOptimize(route_permutation(topo, pi));
+        general_s = std::min(general_s, t1.seconds());
+        Timer t2;
+        benchmark::DoNotOptimize(route_group_block(topo, pi));
+        special_s = std::min(special_s, t2.seconds());
+      }
+      table.add(topo.to_string(), format_double(general_s * 1e6, 1),
+                format_double(special_s * 1e6, 1),
+                format_double(general_s / special_s, 1));
+    }
+    table.print(std::cout);
+  }
+  std::cout << "Expected shape: the 'matches' column is all yes — one\n"
+               "algorithm covers every family the literature handled case\n"
+               "by case; the closed-form router wins construction time on\n"
+               "its class without changing slot counts.\n\n";
+}
+
+void BM_GeneralOnGroupBlock(benchmark::State& state) {
+  const Topology topo(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  Rng rng(49);
+  const Permutation pi = random_group_block(topo.d(), topo.g(), rng, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_permutation(topo, pi));
+  }
+}
+BENCHMARK(BM_GeneralOnGroupBlock)->Args({32, 32})->Args({64, 16});
+
+void BM_SpecializedOnGroupBlock(benchmark::State& state) {
+  const Topology topo(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  Rng rng(50);
+  const Permutation pi = random_group_block(topo.d(), topo.g(), rng, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(route_group_block(topo, pi));
+  }
+}
+BENCHMARK(BM_SpecializedOnGroupBlock)->Args({32, 32})->Args({64, 16});
+
+}  // namespace
+}  // namespace pops::bench
+
+POPSNET_BENCH_MAIN(pops::bench::print_tables)
