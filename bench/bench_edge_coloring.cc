@@ -3,12 +3,11 @@
 // Times the three edge-coloring backends on random Delta-regular bipartite
 // multigraphs over (n, Delta) sweeps, reporting ns/edge. This isolates the
 // Remark 1 cost from the rest of the routing pipeline.
-#include <numeric>
-
 #include "bench_common.h"
 #include "graph/edge_coloring.h"
 #include "graph/euler_split.h"
 #include "graph/hopcroft_karp.h"
+#include "graph/random.h"
 #include "graph/validation.h"
 #include "support/format.h"
 #include "support/prng.h"
@@ -19,14 +18,7 @@ namespace pops::bench {
 namespace {
 
 BipartiteMultigraph random_regular(int n, int degree, Rng& rng) {
-  BipartiteMultigraph g(n, n);
-  std::vector<int> rights(as_size(n));
-  for (int k = 0; k < degree; ++k) {
-    std::iota(rights.begin(), rights.end(), 0);
-    rng.shuffle(rights);
-    for (int l = 0; l < n; ++l) g.add_edge(l, rights[as_size(l)]);
-  }
-  return g;
+  return random_regular_multigraph(n, degree, rng);
 }
 
 double ns_per_edge(const BipartiteMultigraph& g,

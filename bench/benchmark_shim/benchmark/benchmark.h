@@ -1,0 +1,213 @@
+// Minimal header-only stand-in for google-benchmark.
+//
+// Build-time fallback used when neither an installed google-benchmark
+// nor FetchContent is available (e.g. a network-less container). It
+// implements just the API surface the bench/ binaries use — State
+// iteration, BENCHMARK()->Args(), counters, and the
+// --benchmark_min_time flag — with a simple doubling calibration loop.
+// Numbers from the shim are honest wall-clock measurements but lack
+// the real library's statistics; CI always uses the real library.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+class State {
+ public:
+  State(std::vector<std::int64_t> args, std::int64_t iterations)
+      : args_(std::move(args)), max_iterations_(iterations) {}
+
+  struct Sentinel {};
+  struct Iterator {
+    std::int64_t remaining;
+    bool operator!=(Sentinel) const { return remaining > 0; }
+    void operator++() { --remaining; }
+    int operator*() const { return 0; }
+  };
+  Iterator begin() { return Iterator{max_iterations_}; }
+  Sentinel end() { return Sentinel{}; }
+
+  std::int64_t range(std::size_t i = 0) const {
+    return i < args_.size() ? args_[i] : 0;
+  }
+  std::int64_t iterations() const { return max_iterations_; }
+  void SetItemsProcessed(std::int64_t items) { items_processed_ = items; }
+  std::int64_t items_processed() const { return items_processed_; }
+  void SetLabel(const std::string& label) { label_ = label; }
+  const std::string& label() const { return label_; }
+
+ private:
+  std::vector<std::int64_t> args_;
+  std::int64_t max_iterations_;
+  std::int64_t items_processed_ = 0;
+  std::string label_;
+};
+
+template <typename T>
+inline void DoNotOptimize(const T& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "g"(&value) : "memory");
+#else
+  volatile const T* sink = &value;
+  (void)sink;
+#endif
+}
+
+namespace internal {
+
+using Function = void (*)(State&);
+
+struct Registration {
+  std::string name;
+  Function function;
+  std::vector<std::vector<std::int64_t>> arg_sets;
+};
+
+inline std::vector<Registration*>& registry() {
+  static std::vector<Registration*> benchmarks;
+  return benchmarks;
+}
+
+inline double& min_time() {
+  static double seconds = 0.1;
+  return seconds;
+}
+
+inline std::int64_t& fixed_iterations() {
+  static std::int64_t iterations = 0;  // 0 = time-based calibration
+  return iterations;
+}
+
+class Benchmark {
+ public:
+  explicit Benchmark(Registration* registration)
+      : registration_(registration) {}
+
+  Benchmark* Args(std::vector<std::int64_t> args) {
+    registration_->arg_sets.push_back(std::move(args));
+    return this;
+  }
+  Benchmark* Arg(std::int64_t arg) { return Args({arg}); }
+
+ private:
+  Registration* registration_;
+};
+
+inline double run_once(Function function,
+                       const std::vector<std::int64_t>& args,
+                       std::int64_t iterations, State* out_state) {
+  State state(args, iterations);
+  const auto start = std::chrono::steady_clock::now();
+  function(state);
+  const auto stop = std::chrono::steady_clock::now();
+  if (out_state != nullptr) *out_state = state;
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+inline void run_registration(const Registration& registration) {
+  std::vector<std::vector<std::int64_t>> arg_sets =
+      registration.arg_sets;
+  if (arg_sets.empty()) arg_sets.push_back({});
+  for (const auto& args : arg_sets) {
+    std::int64_t iterations = 1;
+    double seconds = 0;
+    State state({}, 0);
+    if (fixed_iterations() > 0) {
+      iterations = fixed_iterations();
+      seconds = run_once(registration.function, args, iterations, &state);
+    } else {
+      while (true) {
+        seconds =
+            run_once(registration.function, args, iterations, &state);
+        if (seconds >= min_time() || iterations >= (1LL << 30)) break;
+        iterations *= 2;
+      }
+    }
+    std::string name = registration.name;
+    for (const auto arg : args) {
+      name += "/" + std::to_string(arg);
+    }
+    const double ns_per_iter =
+        seconds * 1e9 / static_cast<double>(iterations);
+    std::printf("%-48s %12.1f ns %10lld iters", name.c_str(),
+                ns_per_iter, static_cast<long long>(iterations));
+    if (state.items_processed() > 0 && seconds > 0) {
+      std::printf("  %10.2f M items/s",
+                  static_cast<double>(state.items_processed()) /
+                      seconds / 1e6);
+    }
+    if (!state.label().empty()) {
+      std::printf("  %s", state.label().c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+inline Benchmark* register_benchmark(const char* name,
+                                     Function function) {
+  auto* registration = new Registration{name, function, {}};
+  registry().push_back(registration);
+  return new Benchmark(registration);
+}
+
+}  // namespace internal
+
+inline void Initialize(int* argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    const char* prefix = "--benchmark_min_time=";
+    if (std::strncmp(arg, prefix, std::strlen(prefix)) == 0) {
+      const char* value = arg + std::strlen(prefix);
+      char* suffix = nullptr;
+      const double parsed = std::strtod(value, &suffix);
+      if (suffix != nullptr && *suffix == 'x') {
+        internal::fixed_iterations() =
+            parsed < 1 ? 1 : static_cast<std::int64_t>(parsed);
+      } else {
+        internal::min_time() = parsed;
+      }
+      continue;  // consumed
+    }
+    if (std::strncmp(arg, "--benchmark_", 12) == 0) {
+      continue;  // accept-and-ignore other benchmark flags
+    }
+    argv[kept++] = argv[i];
+  }
+  *argc = kept;
+}
+
+inline bool ReportUnrecognizedArguments(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::fprintf(stderr, "unrecognized argument: %s\n", argv[i]);
+  }
+  return argc > 1;
+}
+
+inline void RunSpecifiedBenchmarks() {
+  std::printf("%-48s %15s %16s\n", "Benchmark (shim)", "Time", "Iterations");
+  std::printf("%s\n", std::string(81, '-').c_str());
+  for (const internal::Registration* registration :
+       internal::registry()) {
+    internal::run_registration(*registration);
+  }
+}
+
+inline void Shutdown() {}
+
+}  // namespace benchmark
+
+#define BENCHMARK_PRIVATE_CONCAT(a, b) a##b
+#define BENCHMARK_PRIVATE_NAME(line) \
+  BENCHMARK_PRIVATE_CONCAT(benchmark_registration_, line)
+#define BENCHMARK(function)                                   \
+  static ::benchmark::internal::Benchmark* BENCHMARK_PRIVATE_NAME( \
+      __LINE__) = ::benchmark::internal::register_benchmark(#function, \
+                                                            function)

@@ -1,0 +1,78 @@
+// Bipartite multigraph with stable edge ids.
+//
+// The paper (Mei & Rizzi, IPDPS 2002) reduces permutation routing on
+// POPS(d,g) to edge coloring a d-regular bipartite multigraph whose
+// vertices are the g source groups and g destination groups and whose
+// edges are the packets. Parallel edges are the common case (many
+// packets share a group pair), so edges are first-class objects
+// addressed by the id returned from add_edge.
+#pragma once
+
+#include <vector>
+
+#include "support/check.h"
+
+namespace pops {
+
+struct Edge {
+  int left;
+  int right;
+};
+
+class BipartiteMultigraph {
+ public:
+  BipartiteMultigraph(int left_count, int right_count)
+      : left_edges_(as_size(left_count)),
+        right_edges_(as_size(right_count)) {}
+
+  /// Adds an edge and returns its id (ids are dense, in insertion
+  /// order).
+  int add_edge(int left, int right) {
+    POPS_CHECK(left >= 0 && left < left_count(),
+               "add_edge: left vertex out of range");
+    POPS_CHECK(right >= 0 && right < right_count(),
+               "add_edge: right vertex out of range");
+    const int id = edge_count();
+    edges_.push_back(Edge{left, right});
+    left_edges_[as_size(left)].push_back(id);
+    right_edges_[as_size(right)].push_back(id);
+    return id;
+  }
+
+  int left_count() const { return static_cast<int>(left_edges_.size()); }
+  int right_count() const {
+    return static_cast<int>(right_edges_.size());
+  }
+  int edge_count() const { return static_cast<int>(edges_.size()); }
+
+  const Edge& edge(int id) const { return edges_[as_size(id)]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  const std::vector<int>& edges_at_left(int left) const {
+    return left_edges_[as_size(left)];
+  }
+  const std::vector<int>& edges_at_right(int right) const {
+    return right_edges_[as_size(right)];
+  }
+
+  int left_degree(int left) const {
+    return static_cast<int>(left_edges_[as_size(left)].size());
+  }
+  int right_degree(int right) const {
+    return static_cast<int>(right_edges_[as_size(right)].size());
+  }
+
+  /// Maximum degree over both sides (0 for an empty graph).
+  int max_degree() const;
+
+  /// True when every left vertex and every right vertex has the same
+  /// degree (vacuously true for the empty graph).
+  bool is_regular() const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> left_edges_;
+  std::vector<std::vector<int>> right_edges_;
+};
+
+}  // namespace pops

@@ -1,0 +1,362 @@
+#include "graph/edge_coloring.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "graph/euler_split.h"
+#include "graph/hopcroft_karp.h"
+
+namespace pops {
+namespace {
+
+// ---------------------------------------------------------------------
+// alternating-path backend (constructive König proof).
+// ---------------------------------------------------------------------
+
+class AlternatingPathColorer {
+ public:
+  AlternatingPathColorer(const BipartiteMultigraph& graph, int delta)
+      : graph_(graph),
+        delta_(delta),
+        color_(as_size(graph.edge_count()), -1),
+        left_slot_(as_size(graph.left_count()),
+                   std::vector<int>(as_size(delta), -1)),
+        right_slot_(as_size(graph.right_count()),
+                    std::vector<int>(as_size(delta), -1)) {}
+
+  EdgeColoring run() {
+    for (int e = 0; e < graph_.edge_count(); ++e) insert(e);
+    return EdgeColoring{std::move(color_), delta_};
+  }
+
+ private:
+  int free_color_at(const std::vector<int>& slots) const {
+    for (int c = 0; c < delta_; ++c) {
+      if (slots[as_size(c)] < 0) return c;
+    }
+    POPS_CHECK(false, "no free color at a vertex with degree < Delta");
+    return -1;
+  }
+
+  void insert(int e) {
+    const int u = graph_.edge(e).left;
+    const int v = graph_.edge(e).right;
+    const int alpha = free_color_at(left_slot_[as_size(u)]);
+    const int beta = free_color_at(right_slot_[as_size(v)]);
+    if (alpha != beta && right_slot_[as_size(v)][as_size(alpha)] >= 0) {
+      flip_path(v, alpha, beta);
+    }
+    // alpha is now free at both endpoints: at u it always was, and at v
+    // either it already was or the flipped path freed it (the path
+    // cannot reach u — it would have to arrive there on an alpha edge,
+    // which u does not have, and parity rules out arriving on beta).
+    assign(e, u, v, alpha);
+  }
+
+  // Flips the maximal alpha/beta alternating path that starts at right
+  // vertex v with its alpha edge.
+  void flip_path(int v, int alpha, int beta) {
+    path_.clear();
+    bool on_right = true;
+    int vertex = v;
+    int want = alpha;
+    while (true) {
+      const int e = on_right ? right_slot_[as_size(vertex)][as_size(want)]
+                             : left_slot_[as_size(vertex)][as_size(want)];
+      if (e < 0) break;
+      path_.push_back(e);
+      vertex = on_right ? graph_.edge(e).left : graph_.edge(e).right;
+      on_right = !on_right;
+      want = want == alpha ? beta : alpha;
+    }
+    for (const int e : path_) {
+      const int c = color_[as_size(e)];
+      left_slot_[as_size(graph_.edge(e).left)][as_size(c)] = -1;
+      right_slot_[as_size(graph_.edge(e).right)][as_size(c)] = -1;
+    }
+    for (const int e : path_) {
+      const int c = color_[as_size(e)] == alpha ? beta : alpha;
+      assign(e, graph_.edge(e).left, graph_.edge(e).right, c);
+    }
+  }
+
+  void assign(int e, int u, int v, int c) {
+    POPS_CHECK(left_slot_[as_size(u)][as_size(c)] < 0 &&
+                   right_slot_[as_size(v)][as_size(c)] < 0,
+               "alternating-path: color slot already taken");
+    color_[as_size(e)] = c;
+    left_slot_[as_size(u)][as_size(c)] = e;
+    right_slot_[as_size(v)][as_size(c)] = e;
+  }
+
+  const BipartiteMultigraph& graph_;
+  int delta_;
+  std::vector<int> color_;
+  std::vector<std::vector<int>> left_slot_;
+  std::vector<std::vector<int>> right_slot_;
+  std::vector<int> path_;
+};
+
+// ---------------------------------------------------------------------
+// Regularization + divide-and-conquer backends.
+// ---------------------------------------------------------------------
+
+// Pads the graph to a Delta-regular multigraph on max(L, R) + max(L, R)
+// vertices. Original edge ids are preserved; dummy edges get the ids
+// >= graph.edge_count().
+BipartiteMultigraph regularize(const BipartiteMultigraph& graph,
+                               int delta) {
+  const int n = std::max(graph.left_count(), graph.right_count());
+  BipartiteMultigraph regular(n, n);
+  for (const Edge& e : graph.edges()) regular.add_edge(e.left, e.right);
+  int right = 0;
+  for (int left = 0; left < n; ++left) {
+    while (regular.left_degree(left) < delta) {
+      while (right < n && regular.right_degree(right) >= delta) ++right;
+      POPS_CHECK(right < n, "regularize: right side has no deficit left");
+      regular.add_edge(left, right);
+    }
+  }
+  return regular;
+}
+
+struct Subgraph {
+  BipartiteMultigraph graph;
+  std::vector<int> to_master;  // subgraph edge id -> master edge id
+};
+
+Subgraph full_subgraph(const BipartiteMultigraph& master) {
+  Subgraph sub{BipartiteMultigraph(master.left_count(),
+                                   master.right_count()),
+               {}};
+  sub.to_master.reserve(as_size(master.edge_count()));
+  for (int id = 0; id < master.edge_count(); ++id) {
+    sub.graph.add_edge(master.edge(id).left, master.edge(id).right);
+    sub.to_master.push_back(id);
+  }
+  return sub;
+}
+
+// Peels one perfect matching off `sub` (a regular bipartite multigraph
+// always has one), records `color_value` for the matched edges, and
+// returns the remainder, whose regular degree is one lower.
+Subgraph peel_perfect_matching(const Subgraph& sub, int color_value,
+                               std::vector<int>& master_color) {
+  const MatchingResult matching = maximum_matching(sub.graph);
+  POPS_CHECK(matching.is_perfect(sub.graph),
+             "regular multigraph without a perfect matching");
+  std::vector<bool> matched(as_size(sub.graph.edge_count()), false);
+  for (const int e : matching.left_edge) {
+    POPS_CHECK(e >= 0, "perfect matching left a vertex unmatched");
+    matched[as_size(e)] = true;
+    master_color[as_size(sub.to_master[as_size(e)])] = color_value;
+  }
+  Subgraph rest{BipartiteMultigraph(sub.graph.left_count(),
+                                    sub.graph.right_count()),
+                {}};
+  rest.to_master.reserve(
+      as_size(sub.graph.edge_count() - matching.size));
+  for (int e = 0; e < sub.graph.edge_count(); ++e) {
+    if (!matched[as_size(e)]) {
+      rest.graph.add_edge(sub.graph.edge(e).left,
+                          sub.graph.edge(e).right);
+      rest.to_master.push_back(sub.to_master[as_size(e)]);
+    }
+  }
+  return rest;
+}
+
+// Recursively colors a delta-regular (on its support) multigraph whose
+// edges map back to master ids, writing colors [base, base + delta).
+// bottom_degree is 1 for the euler-split backend and 2 for circuit-peel
+// (which two-colors the final circuits directly by alternation).
+void color_regular_recursive(const Subgraph& sub, int delta, int base,
+                             int bottom_degree,
+                             std::vector<int>& master_color) {
+  if (sub.graph.edge_count() == 0) return;
+  if (delta == 1) {
+    for (const int id : sub.to_master) master_color[as_size(id)] = base;
+    return;
+  }
+  if (delta == 2 && bottom_degree == 2) {
+    // 2-regular components are even circuits; alternation along each
+    // circuit is a proper 2-coloring.
+    const EulerSplitResult split = euler_split(sub.graph);
+    for (int e = 0; e < sub.graph.edge_count(); ++e) {
+      master_color[as_size(sub.to_master[as_size(e)])] =
+          base + split.side[as_size(e)];
+    }
+    return;
+  }
+  if (delta % 2 == 1) {
+    // Peel one perfect matching, then recurse on the even-degree
+    // remainder.
+    color_regular_recursive(
+        peel_perfect_matching(sub, base + delta - 1, master_color),
+        delta - 1, base, bottom_degree, master_color);
+    return;
+  }
+  // Even degree: Euler split into two exactly (delta/2)-regular halves.
+  const EulerSplitResult split = euler_split(sub.graph);
+  BipartiteMultigraph halves[2] = {
+      BipartiteMultigraph(sub.graph.left_count(),
+                          sub.graph.right_count()),
+      BipartiteMultigraph(sub.graph.left_count(),
+                          sub.graph.right_count())};
+  std::vector<int> maps[2];
+  for (int e = 0; e < sub.graph.edge_count(); ++e) {
+    const int s = split.side[as_size(e)];
+    halves[s].add_edge(sub.graph.edge(e).left, sub.graph.edge(e).right);
+    maps[s].push_back(sub.to_master[as_size(e)]);
+  }
+  color_regular_recursive(
+      Subgraph{std::move(halves[0]), std::move(maps[0])}, delta / 2,
+      base, bottom_degree, master_color);
+  color_regular_recursive(
+      Subgraph{std::move(halves[1]), std::move(maps[1])}, delta / 2,
+      base + delta / 2, bottom_degree, master_color);
+}
+
+EdgeColoring color_via_splits(const BipartiteMultigraph& graph, int delta,
+                              int bottom_degree) {
+  const BipartiteMultigraph regular = regularize(graph, delta);
+  std::vector<int> padded_color(as_size(regular.edge_count()), -1);
+  color_regular_recursive(full_subgraph(regular), delta, 0,
+                          bottom_degree, padded_color);
+  padded_color.resize(as_size(graph.edge_count()));
+  return EdgeColoring{std::move(padded_color), delta};
+}
+
+EdgeColoring color_by_matching_peel(const BipartiteMultigraph& graph,
+                                    int delta) {
+  const BipartiteMultigraph regular = regularize(graph, delta);
+  std::vector<int> padded_color(as_size(regular.edge_count()), -1);
+  Subgraph remaining = full_subgraph(regular);
+  for (int round = 0; round < delta; ++round) {
+    remaining = peel_perfect_matching(remaining, round, padded_color);
+  }
+  padded_color.resize(as_size(graph.edge_count()));
+  return EdgeColoring{std::move(padded_color), delta};
+}
+
+}  // namespace
+
+std::string to_string(ColoringAlgorithm algorithm) {
+  switch (algorithm) {
+    case ColoringAlgorithm::kAlternatingPath:
+      return "alternating-path";
+    case ColoringAlgorithm::kEulerSplit:
+      return "euler-split";
+    case ColoringAlgorithm::kMatchingPeel:
+      return "matching-peel";
+    case ColoringAlgorithm::kCircuitPeel:
+      return "circuit-peel";
+  }
+  POPS_CHECK(false, "unknown ColoringAlgorithm");
+  return "";
+}
+
+EdgeColoring color_edges(const BipartiteMultigraph& graph,
+                         ColoringAlgorithm algorithm) {
+  const int delta = graph.max_degree();
+  if (delta == 0) return EdgeColoring{{}, 0};
+  switch (algorithm) {
+    case ColoringAlgorithm::kAlternatingPath:
+      return AlternatingPathColorer(graph, delta).run();
+    case ColoringAlgorithm::kEulerSplit:
+      return color_via_splits(graph, delta, /*bottom_degree=*/1);
+    case ColoringAlgorithm::kMatchingPeel:
+      return color_by_matching_peel(graph, delta);
+    case ColoringAlgorithm::kCircuitPeel:
+      return color_via_splits(graph, delta, /*bottom_degree=*/2);
+  }
+  POPS_CHECK(false, "unknown ColoringAlgorithm");
+  return EdgeColoring{};
+}
+
+EdgeColoring spread_colors(const BipartiteMultigraph& graph,
+                           const EdgeColoring& coloring,
+                           int num_classes) {
+  POPS_CHECK(num_classes >= std::max(1, coloring.num_colors),
+             "spread_colors: fewer classes than existing colors");
+  EdgeColoring result{coloring.color, num_classes};
+  const int edge_count = graph.edge_count();
+  std::vector<int> sizes(as_size(num_classes), 0);
+  for (const int c : result.color) ++sizes[as_size(c)];
+
+  const int vertex_count = graph.left_count() + graph.right_count();
+  std::vector<int> slot_a(as_size(vertex_count));
+  std::vector<int> slot_b(as_size(vertex_count));
+
+  // Each pass moves one edge from a largest class to a smallest class
+  // by flipping an alternating path, so the spread shrinks steadily;
+  // the iteration bound is a safety net, not a tuning knob.
+  const long long limit =
+      2LL * static_cast<long long>(edge_count) * num_classes + 16;
+  for (long long iteration = 0;; ++iteration) {
+    POPS_CHECK(iteration <= limit, "spread_colors failed to converge");
+    const int a = static_cast<int>(
+        std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+    const int b = static_cast<int>(
+        std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
+    if (sizes[as_size(a)] - sizes[as_size(b)] <= 1) break;
+
+    // Build the a/b two-colored subgraph: at most one edge of each
+    // class per vertex, so components are paths and even cycles.
+    std::fill(slot_a.begin(), slot_a.end(), -1);
+    std::fill(slot_b.begin(), slot_b.end(), -1);
+    for (int e = 0; e < edge_count; ++e) {
+      const int c = result.color[as_size(e)];
+      if (c != a && c != b) continue;
+      const int u = graph.edge(e).left;
+      const int v = graph.left_count() + graph.edge(e).right;
+      auto& slots = c == a ? slot_a : slot_b;
+      slots[as_size(u)] = e;
+      slots[as_size(v)] = e;
+    }
+
+    // Cycles carry equally many a- and b-edges, so some PATH has one
+    // more a-edge than b-edges. The a/b components are vertex-disjoint,
+    // so we can flip several such paths in one scan — up to gap/2 of
+    // them, which leaves the pair balanced instead of paying a full
+    // subgraph rebuild per single edge moved.
+    int flips_left = (sizes[as_size(a)] - sizes[as_size(b)]) / 2;
+    bool flipped = false;
+    std::vector<bool> walked(as_size(edge_count), false);
+    for (int start = 0; start < vertex_count && flips_left > 0;
+         ++start) {
+      const bool has_a = slot_a[as_size(start)] >= 0;
+      const bool has_b = slot_b[as_size(start)] >= 0;
+      if (has_a == has_b) continue;  // not a path endpoint
+      if (!has_a) continue;  // paths with extra a-edges start on a
+      if (walked[as_size(slot_a[as_size(start)])]) continue;
+      int vertex = start;
+      int want_a = 1;
+      std::vector<int> path;
+      while (true) {
+        const auto& slots = want_a ? slot_a : slot_b;
+        const int e = slots[as_size(vertex)];
+        if (e < 0) break;
+        if (!path.empty() && e == path.back()) break;
+        path.push_back(e);
+        walked[as_size(e)] = true;
+        const int u = graph.edge(e).left;
+        const int v = graph.left_count() + graph.edge(e).right;
+        vertex = vertex == u ? v : u;
+        want_a = 1 - want_a;
+      }
+      if (path.size() % 2 == 0) continue;  // balanced path
+      for (const int e : path) {
+        result.color[as_size(e)] = result.color[as_size(e)] == a ? b : a;
+      }
+      sizes[as_size(a)] -= 1;
+      sizes[as_size(b)] += 1;
+      --flips_left;
+      flipped = true;
+    }
+    POPS_CHECK(flipped, "spread_colors: no augmenting path found");
+  }
+  return result;
+}
+
+}  // namespace pops

@@ -1,0 +1,36 @@
+// Euler split: partition the edges of a bipartite multigraph into two
+// halves that split every vertex's degree as evenly as possible.
+//
+// This is the Remark 1 workhorse: on a 2k-regular multigraph the split
+// yields two k-regular halves, which is what makes the divide-and-
+// conquer edge-coloring backends O(E log Delta).
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite_multigraph.h"
+
+namespace pops {
+
+struct EulerSplitResult {
+  /// side[e] is 0 or 1 for every edge id e of the input graph.
+  std::vector<int> side;
+
+  /// Degree of the vertex inside the chosen half, for convenience in
+  /// tests: counts[s][v] with v a combined vertex id (left vertices
+  /// first, then right vertices).
+  int half_count(int s) const {
+    int count = 0;
+    for (const int value : side) count += value == s ? 1 : 0;
+    return count;
+  }
+};
+
+/// Walks maximal trails (odd-degree start vertices first) and assigns
+/// edges to sides 0/1 alternately along each trail. Guarantees for every
+/// vertex v: |deg_0(v) - deg_1(v)| <= 1, with equality to 0 whenever
+/// deg(v) is even. On a 2k-regular graph both halves are exactly
+/// k-regular.
+EulerSplitResult euler_split(const BipartiteMultigraph& graph);
+
+}  // namespace pops

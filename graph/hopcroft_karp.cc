@@ -1,0 +1,92 @@
+#include "graph/hopcroft_karp.h"
+
+#include <limits>
+
+namespace pops {
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+struct HopcroftKarp {
+  explicit HopcroftKarp(const BipartiteMultigraph& graph)
+      : graph(graph),
+        match_left(as_size(graph.left_count()), -1),
+        match_right(as_size(graph.right_count()), -1),
+        dist(as_size(graph.left_count()), kInf),
+        queue(as_size(graph.left_count())) {}
+
+  // BFS over left vertices: layers of shortest alternating paths from
+  // free left vertices. Returns true when some free right vertex is
+  // reachable.
+  bool bfs() {
+    int head = 0;
+    int tail = 0;
+    for (int l = 0; l < graph.left_count(); ++l) {
+      if (match_left[as_size(l)] < 0) {
+        dist[as_size(l)] = 0;
+        queue[as_size(tail++)] = l;
+      } else {
+        dist[as_size(l)] = kInf;
+      }
+    }
+    bool found = false;
+    while (head < tail) {
+      const int l = queue[as_size(head++)];
+      for (const int edge_id : graph.edges_at_left(l)) {
+        const int r = graph.edge(edge_id).right;
+        const int back = match_right[as_size(r)];
+        if (back < 0) {
+          found = true;
+        } else {
+          const int l2 = graph.edge(back).left;
+          if (dist[as_size(l2)] == kInf) {
+            dist[as_size(l2)] = dist[as_size(l)] + 1;
+            queue[as_size(tail++)] = l2;
+          }
+        }
+      }
+    }
+    return found;
+  }
+
+  bool dfs(int l) {
+    for (const int edge_id : graph.edges_at_left(l)) {
+      const int r = graph.edge(edge_id).right;
+      const int back = match_right[as_size(r)];
+      if (back < 0 || (dist[as_size(graph.edge(back).left)] ==
+                           dist[as_size(l)] + 1 &&
+                       dfs(graph.edge(back).left))) {
+        match_left[as_size(l)] = edge_id;
+        match_right[as_size(r)] = edge_id;
+        return true;
+      }
+    }
+    dist[as_size(l)] = kInf;
+    return false;
+  }
+
+  const BipartiteMultigraph& graph;
+  std::vector<int> match_left;
+  std::vector<int> match_right;
+  std::vector<int> dist;
+  std::vector<int> queue;
+};
+
+}  // namespace
+
+MatchingResult maximum_matching(const BipartiteMultigraph& graph) {
+  HopcroftKarp hk(graph);
+  MatchingResult result;
+  while (hk.bfs()) {
+    for (int l = 0; l < graph.left_count(); ++l) {
+      if (hk.match_left[as_size(l)] < 0 && hk.dfs(l)) {
+        ++result.size;
+      }
+    }
+  }
+  result.left_edge = std::move(hk.match_left);
+  result.right_edge = std::move(hk.match_right);
+  return result;
+}
+
+}  // namespace pops

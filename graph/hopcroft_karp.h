@@ -1,0 +1,32 @@
+// Hopcroft-Karp maximum matching on bipartite multigraphs.
+//
+// Used by the matching-peel and euler-split coloring backends to peel
+// perfect matchings off regular multigraphs (which always have one, by
+// Hall's theorem), and exposed on its own because the benches time it
+// in isolation.
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite_multigraph.h"
+
+namespace pops {
+
+struct MatchingResult {
+  /// Edge id matched at each left vertex, or -1 if unmatched.
+  std::vector<int> left_edge;
+  /// Edge id matched at each right vertex, or -1 if unmatched.
+  std::vector<int> right_edge;
+  /// Number of matched pairs.
+  int size = 0;
+
+  bool is_perfect(const BipartiteMultigraph& graph) const {
+    return size == graph.left_count() &&
+           graph.left_count() == graph.right_count();
+  }
+};
+
+/// O(E * sqrt(V)) maximum matching.
+MatchingResult maximum_matching(const BipartiteMultigraph& graph);
+
+}  // namespace pops

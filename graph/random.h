@@ -1,0 +1,28 @@
+// Random graph generators shared by tests and benches.
+#pragma once
+
+#include <numeric>
+#include <vector>
+
+#include "graph/bipartite_multigraph.h"
+#include "support/prng.h"
+
+namespace pops {
+
+/// Random degree-regular bipartite multigraph on n + n vertices: the
+/// union of `degree` uniform random perfect matchings (parallel edges
+/// are expected and welcome). This is the instance family of the
+/// paper's Remark 1 experiments.
+inline BipartiteMultigraph random_regular_multigraph(int n, int degree,
+                                                     Rng& rng) {
+  BipartiteMultigraph g(n, n);
+  std::vector<int> rights(as_size(n));
+  for (int k = 0; k < degree; ++k) {
+    std::iota(rights.begin(), rights.end(), 0);
+    rng.shuffle(rights);
+    for (int l = 0; l < n; ++l) g.add_edge(l, rights[as_size(l)]);
+  }
+  return g;
+}
+
+}  // namespace pops

@@ -1,0 +1,34 @@
+#include "graph/validation.h"
+
+#include <vector>
+
+namespace pops {
+
+bool is_valid_edge_coloring(const BipartiteMultigraph& graph,
+                            const EdgeColoring& coloring) {
+  if (static_cast<int>(coloring.color.size()) != graph.edge_count()) {
+    return false;
+  }
+  for (const int c : coloring.color) {
+    if (c < 0 || c >= coloring.num_colors) return false;
+  }
+  std::vector<bool> seen(as_size(coloring.num_colors), false);
+  const auto side_ok = [&](const std::vector<int>& incident) {
+    std::fill(seen.begin(), seen.end(), false);
+    for (const int e : incident) {
+      const int c = coloring.color[as_size(e)];
+      if (seen[as_size(c)]) return false;
+      seen[as_size(c)] = true;
+    }
+    return true;
+  };
+  for (int l = 0; l < graph.left_count(); ++l) {
+    if (!side_ok(graph.edges_at_left(l))) return false;
+  }
+  for (int r = 0; r < graph.right_count(); ++r) {
+    if (!side_ok(graph.edges_at_right(r))) return false;
+  }
+  return true;
+}
+
+}  // namespace pops

@@ -1,0 +1,15 @@
+// Structural validation of edge colorings.
+#pragma once
+
+#include "graph/bipartite_multigraph.h"
+#include "graph/edge_coloring.h"
+
+namespace pops {
+
+/// True iff the coloring assigns every edge a color in
+/// [0, num_colors) and no two edges sharing an endpoint have the same
+/// color.
+bool is_valid_edge_coloring(const BipartiteMultigraph& graph,
+                            const EdgeColoring& coloring);
+
+}  // namespace pops

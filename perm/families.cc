@@ -1,0 +1,26 @@
+#include "perm/families.h"
+
+namespace pops {
+
+Permutation vector_reversal(int n) {
+  std::vector<int> images(as_size(n));
+  for (int i = 0; i < n; ++i) {
+    images[as_size(i)] = n - 1 - i;
+  }
+  return Permutation(std::move(images));
+}
+
+Permutation group_rotation(int d, int g, int shift) {
+  POPS_CHECK(d >= 1 && g >= 1, "group_rotation needs d, g >= 1");
+  const int n = d * g;
+  std::vector<int> images(as_size(n));
+  for (int p = 0; p < n; ++p) {
+    const int group = p / d;
+    const int index = p % d;
+    const int target = ((group + shift) % g + g) % g;
+    images[as_size(p)] = target * d + index;
+  }
+  return Permutation(std::move(images));
+}
+
+}  // namespace pops

@@ -1,0 +1,18 @@
+// Structured permutation families used by the experiment tables.
+#pragma once
+
+#include "perm/permutation.h"
+
+namespace pops {
+
+/// i -> n - 1 - i. Adversarial for direct routing: it concentrates
+/// whole groups onto single group pairs.
+Permutation vector_reversal(int n);
+
+/// On POPS(d, g): processor (group, index) -> (group + shift mod g,
+/// index). With shift != 0 this is the worst case for direct routing
+/// (all d packets of a group cross the same coupler), while Theorem 2
+/// stays at its flat bound.
+Permutation group_rotation(int d, int g, int shift);
+
+}  // namespace pops

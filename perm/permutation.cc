@@ -1,0 +1,87 @@
+#include "perm/permutation.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace pops {
+
+Permutation::Permutation(std::vector<int> images)
+    : images_(std::move(images)) {
+  std::vector<bool> seen(images_.size(), false);
+  for (const int image : images_) {
+    POPS_CHECK(image >= 0 && image < size(),
+               "Permutation image out of range");
+    POPS_CHECK(!seen[as_size(image)], "Permutation repeats an image");
+    seen[as_size(image)] = true;
+  }
+}
+
+Permutation Permutation::identity(int n) {
+  POPS_CHECK(n >= 0, "Permutation::identity with negative size");
+  std::vector<int> images(as_size(n));
+  std::iota(images.begin(), images.end(), 0);
+  return Permutation(std::move(images));
+}
+
+Permutation Permutation::random(int n, Rng& rng) {
+  std::vector<int> images(as_size(n));
+  std::iota(images.begin(), images.end(), 0);
+  rng.shuffle(images);
+  return Permutation(std::move(images));
+}
+
+Permutation Permutation::random_derangement(int n, Rng& rng) {
+  POPS_CHECK(n >= 2, "no derangement exists for n < 2");
+  // Rejection sampling keeps the distribution uniform; the acceptance
+  // probability tends to 1/e, so a few dozen tries suffice in practice.
+  for (int attempt = 0; attempt < 1024; ++attempt) {
+    Permutation candidate = random(n, rng);
+    if (candidate.is_derangement()) return candidate;
+  }
+  POPS_CHECK(false, "random_derangement failed to converge");
+  return identity(n);
+}
+
+Permutation Permutation::inverse() const {
+  std::vector<int> images(images_.size());
+  for (int i = 0; i < size(); ++i) {
+    images[as_size(images_[as_size(i)])] = i;
+  }
+  return Permutation(std::move(images));
+}
+
+bool Permutation::is_identity() const {
+  for (int i = 0; i < size(); ++i) {
+    if (images_[as_size(i)] != i) return false;
+  }
+  return true;
+}
+
+bool Permutation::is_derangement() const {
+  for (int i = 0; i < size(); ++i) {
+    if (images_[as_size(i)] == i) return false;
+  }
+  return size() > 0;
+}
+
+std::string Permutation::to_string() const {
+  std::ostringstream out;
+  std::vector<bool> visited(images_.size(), false);
+  for (int start = 0; start < size(); ++start) {
+    if (visited[as_size(start)]) continue;
+    out << '(';
+    int at = start;
+    bool first = true;
+    while (!visited[as_size(at)]) {
+      visited[as_size(at)] = true;
+      if (!first) out << ' ';
+      out << at;
+      first = false;
+      at = images_[as_size(at)];
+    }
+    out << ')';
+  }
+  return out.str();
+}
+
+}  // namespace pops

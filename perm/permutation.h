@@ -1,0 +1,39 @@
+// Permutations of [0, n) — the traffic model of the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/check.h"
+#include "support/prng.h"
+
+namespace pops {
+
+/// An immutable permutation pi of {0, ..., n-1}; pi(i) is the
+/// destination of the packet held by processor i.
+class Permutation {
+ public:
+  /// Validates that `images` is a bijection.
+  explicit Permutation(std::vector<int> images);
+
+  static Permutation identity(int n);
+  static Permutation random(int n, Rng& rng);
+  /// Uniform random permutation without fixed points. Requires n >= 2.
+  static Permutation random_derangement(int n, Rng& rng);
+
+  int size() const { return static_cast<int>(images_.size()); }
+  int operator()(int i) const { return images_[as_size(i)]; }
+  const std::vector<int>& images() const { return images_; }
+
+  Permutation inverse() const;
+  bool is_identity() const;
+  bool is_derangement() const;
+
+  /// Cycle notation, fixed points included: "(0 5 6 3 2 7 8 4)(1)".
+  std::string to_string() const;
+
+ private:
+  std::vector<int> images_;
+};
+
+}  // namespace pops

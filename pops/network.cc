@@ -1,0 +1,165 @@
+#include "pops/network.h"
+
+#include <algorithm>
+#include <map>
+
+namespace pops {
+
+Network::Network(const Topology& topo)
+    : topo_(topo), buffers_(as_size(topo.processor_count())) {}
+
+void Network::reset() {
+  for (auto& buffer : buffers_) buffer.clear();
+  packet_count_ = 0;
+  stats_ = NetworkStats{};
+  failure_.clear();
+}
+
+void Network::load_permutation_traffic(const Permutation& pi) {
+  POPS_CHECK(pi.size() == topo_.processor_count(),
+             "permutation size does not match the topology");
+  for (auto& buffer : buffers_) buffer.clear();
+  packet_count_ = 0;
+  failure_.clear();
+  for (int source = 0; source < pi.size(); ++source) {
+    load_packet(Packet{source, source, pi(source), 1, 0});
+  }
+}
+
+void Network::load_packet(const Packet& packet) {
+  POPS_CHECK(packet.source >= 0 &&
+                 packet.source < topo_.processor_count(),
+             "load_packet: source out of range");
+  POPS_CHECK(packet.destination >= -1 &&
+                 packet.destination < topo_.processor_count(),
+             "load_packet: destination out of range");
+  buffers_[as_size(packet.source)].push_back(packet);
+  ++packet_count_;
+}
+
+bool Network::execute(const std::vector<SlotPlan>& slots) {
+  for (const SlotPlan& slot : slots) {
+    if (!execute_slot(slot)) return false;
+  }
+  return true;
+}
+
+bool Network::execute_slot(const SlotPlan& slot) {
+  if (!ok()) return false;
+  const long long slot_index = stats_.slots_executed;
+  const int n = topo_.processor_count();
+
+  // --- Validation pass: nothing is moved until the whole slot checks
+  // out against the optical model. ---
+  for (const Transmission& t : slot.transmissions) {
+    if (t.source < 0 || t.source >= n) {
+      return fail(str_cat("slot ", slot_index, ": source processor ",
+                          t.source, " out of range"));
+    }
+    if (t.destination < 0 || t.destination >= n) {
+      return fail(str_cat("slot ", slot_index,
+                          ": destination processor ", t.destination,
+                          " out of range"));
+    }
+  }
+
+  // packet id requested by each transmitting processor (one packet per
+  // processor per slot, possibly multicast onto several couplers).
+  std::map<int, int> packet_of_source;
+  // transmitter driving each coupler.
+  std::map<int, int> source_of_coupler;
+  std::map<int, int> receive_count;
+  for (const Transmission& t : slot.transmissions) {
+    const int src_group = topo_.group_of(t.source);
+    const int dst_group = topo_.group_of(t.destination);
+    const int coupler = topo_.coupler(dst_group, src_group);
+
+    const auto [source_it, new_source] =
+        packet_of_source.emplace(t.source, t.packet);
+    if (!new_source && source_it->second != t.packet) {
+      return fail(str_cat("slot ", slot_index, ": processor ", t.source,
+                          " transmits two different packets (",
+                          source_it->second, " and ", t.packet, ")"));
+    }
+    const auto [coupler_it, new_coupler] =
+        source_of_coupler.emplace(coupler, t.source);
+    if (!new_coupler && coupler_it->second != t.source) {
+      return fail(str_cat(
+          "slot ", slot_index, ": coupler c(", dst_group, ",", src_group,
+          ") oversubscribed by processors ", coupler_it->second, " and ",
+          t.source));
+    }
+    if (++receive_count[t.destination] > 1) {
+      return fail(str_cat("slot ", slot_index, ": processor ",
+                          t.destination,
+                          " tunes to more than one coupler"));
+    }
+  }
+
+  // Resolve each transmitting processor's packet in its buffer.
+  std::map<int, std::size_t> buffer_slot_of_source;
+  for (auto& [source, packet_id] : packet_of_source) {
+    const std::vector<Packet>& buffer = buffers_[as_size(source)];
+    if (packet_id == -1) {
+      if (buffer.size() != 1) {
+        return fail(str_cat("slot ", slot_index, ": processor ", source,
+                            " asked to send 'any' packet but holds ",
+                            buffer.size()));
+      }
+      buffer_slot_of_source[source] = 0;
+      continue;
+    }
+    std::size_t found = buffer.size();
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      if (buffer[i].id == packet_id) {
+        found = i;
+        break;
+      }
+    }
+    if (found == buffer.size()) {
+      return fail(str_cat("slot ", slot_index, ": processor ", source,
+                          " does not hold packet ", packet_id));
+    }
+    buffer_slot_of_source[source] = found;
+  }
+
+  // --- Commit pass: withdraw every transmitted packet, then deliver
+  // one copy per tuned receiver. ---
+  std::map<int, Packet> in_flight;
+  for (const auto& [source, buffer_index] : buffer_slot_of_source) {
+    std::vector<Packet>& buffer = buffers_[as_size(source)];
+    in_flight.emplace(source, buffer[buffer_index]);
+    buffer.erase(buffer.begin() +
+                 static_cast<std::ptrdiff_t>(buffer_index));
+    --packet_count_;
+  }
+  for (const Transmission& t : slot.transmissions) {
+    Packet copy = in_flight.at(t.source);
+    copy.hops += 1;
+    buffers_[as_size(t.destination)].push_back(copy);
+    ++packet_count_;
+    ++stats_.packets_moved;
+  }
+
+  stats_.slots_executed += 1;
+  stats_.coupler_slots_busy +=
+      static_cast<long long>(source_of_coupler.size());
+  stats_.coupler_slot_capacity += topo_.coupler_count();
+  return true;
+}
+
+bool Network::all_delivered() const {
+  for (int p = 0; p < topo_.processor_count(); ++p) {
+    for (const Packet& packet : buffers_[as_size(p)]) {
+      if (packet.destination != p) return false;
+    }
+  }
+  return true;
+}
+
+bool Network::fail(const std::string& message) {
+  if (failure_.empty()) failure_ = message;
+  return false;
+}
+
+}  // namespace pops

@@ -1,0 +1,156 @@
+// The POPS(d, g) topology model and its strict slot-level simulator.
+//
+// A Partitioned Optical Passive Stars network POPS(d, g) has n = d * g
+// processors in g groups of d, and g^2 optical star couplers. Coupler
+// c(i, j) accepts light from the processors of source group j and
+// delivers it to the processors of destination group i. In one time
+// slot:
+//   * each coupler carries at most one packet (one transmitter),
+//   * each processor transmits at most one packet (it may drive
+//     several couplers with the same packet — that is an optical
+//     multicast),
+//   * each processor tunes its receiver to at most one coupler, so it
+//     receives at most one packet.
+//
+// The Network class executes schedules under exactly these rules and
+// refuses (with a recorded failure string) anything that violates
+// them. Every number the benches print comes from a schedule that went
+// through this simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perm/permutation.h"
+#include "support/check.h"
+#include "support/format.h"
+
+namespace pops {
+
+class Topology {
+ public:
+  /// d processors per group, g groups.
+  Topology(int d, int g) : d_(d), g_(g) {
+    POPS_CHECK(d >= 1, "POPS(d, g) needs d >= 1");
+    POPS_CHECK(g >= 1, "POPS(d, g) needs g >= 1");
+  }
+
+  int d() const { return d_; }
+  int g() const { return g_; }
+  int group_size() const { return d_; }
+  int group_count() const { return g_; }
+  int processor_count() const { return d_ * g_; }
+  int coupler_count() const { return g_ * g_; }
+
+  int group_of(int processor) const {
+    POPS_CHECK(processor >= 0 && processor < processor_count(),
+               "group_of: processor out of range");
+    return processor / d_;
+  }
+  int index_in_group(int processor) const {
+    POPS_CHECK(processor >= 0 && processor < processor_count(),
+               "index_in_group: processor out of range");
+    return processor % d_;
+  }
+  int processor(int group, int index) const {
+    POPS_CHECK(group >= 0 && group < g_, "processor: group out of range");
+    POPS_CHECK(index >= 0 && index < d_, "processor: index out of range");
+    return group * d_ + index;
+  }
+  /// Dense id of coupler c(dst_group, src_group).
+  int coupler(int dst_group, int src_group) const {
+    return dst_group * g_ + src_group;
+  }
+
+  std::string to_string() const {
+    return str_cat("POPS(", d_, ",", g_, ")");
+  }
+
+ private:
+  int d_;
+  int g_;
+};
+
+struct Packet {
+  int id;           // unique per loaded packet (source id for
+                    // permutation traffic); -1 means "any"
+  int source;       // processor that injected the packet
+  int destination;  // processor that must finally receive it
+  int size;         // payload size in flits (bookkeeping only)
+  int hops;         // slots this packet has traveled so far
+};
+
+/// One optical transmission: `source` drives the coupler
+/// c(group(destination), group(source)) with packet `packet`, and
+/// `destination` tunes its receiver to that coupler.
+struct Transmission {
+  int source;
+  int destination;
+  int packet;
+};
+
+/// All transmissions of one time slot.
+struct SlotPlan {
+  std::vector<Transmission> transmissions;
+};
+
+struct NetworkStats {
+  long long slots_executed = 0;
+  long long packets_moved = 0;
+  long long coupler_slots_busy = 0;
+  long long coupler_slot_capacity = 0;
+
+  double average_coupler_utilization() const {
+    return coupler_slot_capacity == 0
+               ? 0.0
+               : static_cast<double>(coupler_slots_busy) /
+                     static_cast<double>(coupler_slot_capacity);
+  }
+};
+
+class Network {
+ public:
+  explicit Network(const Topology& topo);
+
+  /// Drops all packets and statistics.
+  void reset();
+
+  /// Replaces the current traffic with one packet per processor:
+  /// processor i holds packet {id = i, destination = pi(i)}.
+  /// Statistics are kept (reset() clears them).
+  void load_permutation_traffic(const Permutation& pi);
+
+  /// Adds one packet at packet.source.
+  void load_packet(const Packet& packet);
+
+  /// Executes the slots in order. Returns false (and records the
+  /// failure) as soon as a slot violates the model; later slots are
+  /// not executed.
+  bool execute(const std::vector<SlotPlan>& slots);
+  bool execute_slot(const SlotPlan& slot);
+
+  /// True when every loaded packet sits at its destination.
+  bool all_delivered() const;
+
+  /// False after the first rejected slot; failure() says why.
+  bool ok() const { return failure_.empty(); }
+  const std::string& failure() const { return failure_; }
+
+  const Topology& topology() const { return topo_; }
+  const NetworkStats& stats() const { return stats_; }
+  const std::vector<Packet>& buffer(int processor) const {
+    return buffers_[as_size(processor)];
+  }
+  int packet_count() const { return packet_count_; }
+
+ private:
+  bool fail(const std::string& message);
+
+  Topology topo_;
+  std::vector<std::vector<Packet>> buffers_;  // per processor
+  int packet_count_ = 0;
+  NetworkStats stats_;
+  std::string failure_;
+};
+
+}  // namespace pops

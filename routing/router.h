@@ -1,0 +1,55 @@
+// Theorem 2 permutation routing on POPS(d, g).
+//
+// Mei & Rizzi (IPDPS 2002): every permutation can be routed in one slot
+// when d = 1 and in 2 * ceil(d / g) slots when d > 1. The construction
+// is oblivious and two-phase:
+//
+//   1. Build the d-regular bipartite multigraph H on the g source
+//      groups and g destination groups with one edge per packet, and
+//      properly edge-color it with d colors (Remark 1 / König).
+//   2. Bundle the colors into ceil(d / g) batches of at most g colors.
+//      The edges of one batch form a Delta_q-regular multigraph H_q
+//      with Delta_q <= g. Re-coloring H_q onto g balanced classes (the
+//      "fair distribution") names an intermediate group for every
+//      packet such that, per batch, (a) the packets of one source
+//      group use distinct intermediate groups and (b) the packets
+//      relayed by one intermediate group use distinct destination
+//      groups.
+//   3. Batch q then takes exactly two slots: slot 2q ships every
+//      packet of the batch to a private processor of its intermediate
+//      group, slot 2q+1 forwards it to its true destination. All
+//      coupler, transmitter and receiver constraints hold by (a), (b)
+//      and the properness of the colorings.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_coloring.h"
+#include "perm/permutation.h"
+#include "pops/network.h"
+
+namespace pops {
+
+struct RouterOptions {
+  /// Edge-coloring backend used for both coloring levels.
+  ColoringAlgorithm coloring = ColoringAlgorithm::kAlternatingPath;
+};
+
+struct RoutePlan {
+  /// The schedule: 1 slot when d == 1, else 2 * ceil(d / g).
+  std::vector<SlotPlan> slots;
+  /// Intermediate processor of each source's packet (the source itself
+  /// when the packet is routed directly, as in the d == 1 case).
+  std::vector<int> intermediate_of;
+
+  int slot_count() const { return static_cast<int>(slots.size()); }
+};
+
+/// The Theorem 2 bound: 1 when d == 1, else 2 * ceil(d / g).
+int theorem2_slots(const Topology& topo);
+
+/// Builds a verified-by-construction Theorem 2 schedule for pi.
+RoutePlan route_permutation(const Topology& topo, const Permutation& pi,
+                            const RouterOptions& options = {});
+
+}  // namespace pops

@@ -1,0 +1,56 @@
+#include "routing/verify.h"
+
+#include "support/format.h"
+
+namespace pops {
+
+VerificationResult verify_schedule(const Topology& topo,
+                                   const Permutation& pi,
+                                   const std::vector<SlotPlan>& slots) {
+  VerificationResult result;
+  if (pi.size() != topo.processor_count()) {
+    result.failure = str_cat("permutation of size ", pi.size(),
+                             " does not fit ", topo.to_string());
+    return result;
+  }
+  Network net(topo);
+  net.load_permutation_traffic(pi);
+  if (!net.execute(slots)) {
+    result.failure = net.failure();
+    return result;
+  }
+  // Full, correct delivery: every processor ends up holding exactly the
+  // packet addressed to it.
+  for (int p = 0; p < topo.processor_count(); ++p) {
+    for (const Packet& packet : net.buffer(p)) {
+      if (packet.destination != p) {
+        result.failure = str_cat(
+            "packet ", packet.id, " (", packet.source, " -> ",
+            packet.destination, ") stranded at processor ", p, " after ",
+            slots.size(), " slots");
+        return result;
+      }
+    }
+  }
+  const Permutation inverse = pi.inverse();
+  for (int p = 0; p < topo.processor_count(); ++p) {
+    const int expected_id = inverse(p);
+    bool found = false;
+    for (const Packet& packet : net.buffer(p)) {
+      if (packet.id == expected_id && packet.destination == p) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      result.failure =
+          str_cat("processor ", p, " never received packet ",
+                  expected_id, " (misdelivered or dropped)");
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace pops

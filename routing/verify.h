@@ -1,0 +1,32 @@
+// Strict schedule verification.
+//
+// verify_schedule is the machine check behind every experiment table:
+// it executes a schedule on the strict simulator and confirms that the
+// permutation was actually realized. A table row is only printed for a
+// schedule that passes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perm/permutation.h"
+#include "pops/network.h"
+
+namespace pops {
+
+struct VerificationResult {
+  bool ok = false;
+  /// Human-readable reason for the first violation when !ok.
+  std::string failure;
+};
+
+/// Loads one packet per processor (i -> pi(i)), executes `slots` under
+/// the strict POPS model, and checks full delivery. Any model
+/// violation (oversubscribed coupler, double send/receive, phantom
+/// packet) or any undelivered/misdelivered packet fails verification
+/// with a descriptive message.
+VerificationResult verify_schedule(const Topology& topo,
+                                   const Permutation& pi,
+                                   const std::vector<SlotPlan>& slots);
+
+}  // namespace pops

@@ -1,0 +1,42 @@
+// Hard invariant checks for the POPS routing core.
+//
+// POPS_CHECK is used for conditions that must hold in every build mode:
+// a violated check means a broken schedule, an invalid coloring, or a
+// caller bug, and the only safe response is to stop. Benchmarks rely on
+// this (a bench must never report numbers from a broken run), so the
+// checks are never compiled out.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace pops {
+namespace detail {
+
+[[noreturn]] inline void check_fail(const std::string& message,
+                                    const char* file, int line) {
+  std::fprintf(stderr, "POPS_CHECK failed at %s:%d: %s\n", file, line,
+               message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+
+#define POPS_CHECK(condition, message)                              \
+  do {                                                              \
+    if (!(condition)) {                                             \
+      ::pops::detail::check_fail((message), __FILE__, __LINE__);    \
+    }                                                               \
+  } while (false)
+
+/// Checked int -> size_t conversion for container indexing. Negative
+/// indices are always a caller bug.
+inline std::size_t as_size(long long value) {
+  POPS_CHECK(value >= 0, "as_size on negative value");
+  return static_cast<std::size_t>(value);
+}
+
+}  // namespace pops

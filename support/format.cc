@@ -1,0 +1,20 @@
+#include "support/format.h"
+
+#include <cstdio>
+
+#include "support/check.h"
+
+namespace pops {
+
+std::string format_double(double value, int decimals) {
+  POPS_CHECK(decimals >= 0 && decimals <= 17,
+             "format_double: decimals out of range");
+  char buffer[64];
+  const int written =
+      std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  POPS_CHECK(written > 0 && written < static_cast<int>(sizeof(buffer)),
+             "format_double: value does not fit");
+  return std::string(buffer);
+}
+
+}  // namespace pops

@@ -1,0 +1,81 @@
+// Deterministic pseudo-random number generation.
+//
+// Every experiment in bench/ and every randomized test seeds an explicit
+// Rng so runs are reproducible across machines and standard-library
+// versions (std::shuffle and std::uniform_int_distribution are not
+// portable across implementations; this generator is).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/check.h"
+
+namespace pops {
+
+/// xoshiro256++ seeded via splitmix64. Fast, tiny state, and good enough
+/// statistical quality for shuffles and random regular multigraphs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      // splitmix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result =
+        rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  int next_below(int bound) {
+    POPS_CHECK(bound > 0, "Rng::next_below needs a positive bound");
+    // Modulo bias is < 2^-32 for the bounds used here (< 2^31).
+    return static_cast<int>(next_u64() %
+                            static_cast<std::uint64_t>(bound));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    POPS_CHECK(lo <= hi, "Rng::uniform_int with empty range");
+    return lo + next_below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (int i = static_cast<int>(values.size()) - 1; i > 0; --i) {
+      const int j = next_below(i + 1);
+      std::swap(values[as_size(i)], values[as_size(j)]);
+    }
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace pops

@@ -1,0 +1,60 @@
+#include "support/table.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace pops {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  POPS_CHECK(!headers_.empty(), "Table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  const std::size_t columns = std::max(
+      headers_.size(),
+      rows_.empty()
+          ? std::size_t{0}
+          : std::max_element(rows_.begin(), rows_.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.size() < b.size();
+                             })
+                ->size());
+  std::vector<std::size_t> widths(columns, 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << cell;
+      if (c + 1 < columns) {
+        out << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < columns; ++c) {
+    rule += widths[c] + (c + 1 < columns ? 2 : 0);
+  }
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+}  // namespace pops

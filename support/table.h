@@ -1,0 +1,54 @@
+// Aligned text tables — the paper-shaped artifact every bench prints.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/format.h"
+
+namespace pops {
+
+namespace detail {
+
+template <typename T>
+std::string table_cell(const T& value) {
+  if constexpr (std::is_convertible_v<T, std::string>) {
+    return std::string(value);
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return format_double(value, 3);
+  } else if constexpr (std::is_integral_v<T>) {
+    return std::to_string(value);
+  } else {
+    static_assert(std::is_convertible_v<T, std::string>,
+                  "unsupported table cell type");
+  }
+}
+
+}  // namespace detail
+
+/// Column-aligned table with a header row. Rows may be ragged; short
+/// rows are padded with empty cells when printed.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: accepts strings, integers and doubles directly.
+  template <typename... Args>
+  void add(const Args&... args) {
+    add_row({detail::table_cell(args)...});
+  }
+
+  int row_count() const { return static_cast<int>(rows_.size()); }
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pops

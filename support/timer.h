@@ -1,0 +1,29 @@
+// Wall-clock timing for the experiment tables.
+#pragma once
+
+#include <chrono>
+
+namespace pops {
+
+/// Monotonic stopwatch, started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double nanos() const {
+    return std::chrono::duration<double, std::nano>(Clock::now() - start_)
+        .count();
+  }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pops

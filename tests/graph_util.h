@@ -1,0 +1,15 @@
+// Shared graph generators for the test suite.
+#pragma once
+
+#include "graph/random.h"
+
+namespace pops::testing {
+
+using pops::random_regular_multigraph;
+
+/// Test-local alias for the shared generator.
+inline BipartiteMultigraph random_regular(int n, int degree, Rng& rng) {
+  return random_regular_multigraph(n, degree, rng);
+}
+
+}  // namespace pops::testing

@@ -1,0 +1,129 @@
+// Satellite: unit coverage for color_edges — every backend on random
+// Delta-regular multigraphs (validity + exactly Delta colors) and on
+// degenerate shapes (Delta = 1, n = 1, empty graph).
+#include "graph/edge_coloring.h"
+#include "graph/validation.h"
+#include "support/prng.h"
+#include "tests/graph_util.h"
+#include "tests/testing.h"
+
+namespace pops {
+namespace {
+
+using testing::random_regular;
+
+POPS_TEST(AlgorithmNames) {
+  EXPECT_EQ(to_string(ColoringAlgorithm::kAlternatingPath),
+            "alternating-path");
+  EXPECT_EQ(to_string(ColoringAlgorithm::kEulerSplit), "euler-split");
+  EXPECT_EQ(to_string(ColoringAlgorithm::kMatchingPeel),
+            "matching-peel");
+  EXPECT_EQ(to_string(ColoringAlgorithm::kCircuitPeel), "circuit-peel");
+}
+
+POPS_TEST(EveryBackendColorsRegularGraphsWithDeltaColors) {
+  Rng rng(21);
+  for (const auto algorithm : kAllColoringAlgorithms) {
+    for (const int n : {2, 5, 8, 16, 32}) {
+      for (const int degree : {1, 2, 3, 4, 7, 8, 13}) {
+        const BipartiteMultigraph g = random_regular(n, degree, rng);
+        const EdgeColoring coloring = color_edges(g, algorithm);
+        EXPECT_EQ(coloring.num_colors, degree);
+        EXPECT_TRUE(is_valid_edge_coloring(g, coloring));
+      }
+    }
+  }
+}
+
+POPS_TEST(EveryBackendHandlesDegenerateShapes) {
+  for (const auto algorithm : kAllColoringAlgorithms) {
+    // Empty graph: zero colors.
+    const BipartiteMultigraph empty(3, 4);
+    const EdgeColoring none = color_edges(empty, algorithm);
+    EXPECT_EQ(none.num_colors, 0);
+    EXPECT_TRUE(is_valid_edge_coloring(empty, none));
+
+    // n = 1 with Delta parallel edges: every edge its own color.
+    BipartiteMultigraph bundle(1, 1);
+    for (int k = 0; k < 5; ++k) bundle.add_edge(0, 0);
+    const EdgeColoring rainbow = color_edges(bundle, algorithm);
+    EXPECT_EQ(rainbow.num_colors, 5);
+    EXPECT_TRUE(is_valid_edge_coloring(bundle, rainbow));
+
+    // Delta = 1 (a partial matching): one color.
+    BipartiteMultigraph matching(4, 4);
+    matching.add_edge(0, 2);
+    matching.add_edge(3, 1);
+    const EdgeColoring mono = color_edges(matching, algorithm);
+    EXPECT_EQ(mono.num_colors, 1);
+    EXPECT_TRUE(is_valid_edge_coloring(matching, mono));
+  }
+}
+
+POPS_TEST(EveryBackendColorsIrregularGraphs) {
+  // Irregular bipartite multigraphs still get exactly Delta colors.
+  Rng rng(22);
+  for (const auto algorithm : kAllColoringAlgorithms) {
+    for (int trial = 0; trial < 10; ++trial) {
+      BipartiteMultigraph g(6, 9);
+      const int edges = 5 + rng.next_below(30);
+      for (int e = 0; e < edges; ++e) {
+        g.add_edge(rng.next_below(6), rng.next_below(9));
+      }
+      const EdgeColoring coloring = color_edges(g, algorithm);
+      EXPECT_EQ(coloring.num_colors, g.max_degree());
+      EXPECT_TRUE(is_valid_edge_coloring(g, coloring));
+    }
+  }
+}
+
+POPS_TEST(ValidationRejectsBrokenColorings) {
+  BipartiteMultigraph g(2, 2);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  EdgeColoring ok{{0, 1}, 2};
+  EXPECT_TRUE(is_valid_edge_coloring(g, ok));
+
+  EdgeColoring clash{{0, 0}, 2};  // both edges at left 0 share a color
+  EXPECT_FALSE(is_valid_edge_coloring(g, clash));
+
+  EdgeColoring out_of_range{{0, 2}, 2};
+  EXPECT_FALSE(is_valid_edge_coloring(g, out_of_range));
+
+  EdgeColoring wrong_size{{0}, 2};
+  EXPECT_FALSE(is_valid_edge_coloring(g, wrong_size));
+}
+
+POPS_TEST(SpreadColorsBalancesClassSizes) {
+  Rng rng(23);
+  // d-regular on g+g vertices spread onto g classes of exactly d edges
+  // each — the router's fair-distribution shape (d < g).
+  for (const auto& [n, degree] : {std::pair{8, 3}, {16, 5}, {9, 9}}) {
+    const BipartiteMultigraph g = random_regular(n, degree, rng);
+    const EdgeColoring base = color_edges(g);
+    const EdgeColoring spread = spread_colors(g, base, n);
+    EXPECT_EQ(spread.num_colors, n);
+    EXPECT_TRUE(is_valid_edge_coloring(g, spread));
+    std::vector<int> sizes(as_size(n), 0);
+    for (const int c : spread.color) ++sizes[as_size(c)];
+    for (const int size : sizes) {
+      EXPECT_EQ(size, degree);
+    }
+  }
+}
+
+POPS_TEST(SpreadColorsKeepsAlreadyBalancedColorings) {
+  Rng rng(24);
+  const BipartiteMultigraph g = random_regular(8, 8, rng);
+  const EdgeColoring base = color_edges(g);
+  const EdgeColoring spread = spread_colors(g, base, 8);
+  EXPECT_TRUE(is_valid_edge_coloring(g, spread));
+  std::vector<int> sizes(as_size(8), 0);
+  for (const int c : spread.color) ++sizes[as_size(c)];
+  for (const int size : sizes) {
+    EXPECT_EQ(size, 8);
+  }
+}
+
+}  // namespace
+}  // namespace pops

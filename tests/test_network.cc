@@ -1,0 +1,141 @@
+#include "perm/families.h"
+#include "pops/network.h"
+#include "tests/testing.h"
+
+namespace pops {
+namespace {
+
+POPS_TEST(TopologyBasics) {
+  const Topology topo(3, 4);
+  EXPECT_EQ(topo.d(), 3);
+  EXPECT_EQ(topo.g(), 4);
+  EXPECT_EQ(topo.processor_count(), 12);
+  EXPECT_EQ(topo.coupler_count(), 16);
+  EXPECT_EQ(topo.group_of(0), 0);
+  EXPECT_EQ(topo.group_of(11), 3);
+  EXPECT_EQ(topo.index_in_group(7), 1);
+  EXPECT_EQ(topo.processor(2, 1), 7);
+  EXPECT_EQ(topo.coupler(3, 1), 13);
+  EXPECT_EQ(topo.to_string(), "POPS(3,4)");
+}
+
+POPS_TEST(LoadPermutationTraffic) {
+  const Topology topo(2, 2);
+  Network net(topo);
+  net.load_permutation_traffic(vector_reversal(4));
+  EXPECT_EQ(net.packet_count(), 4);
+  EXPECT_FALSE(net.all_delivered());
+  EXPECT_EQ(net.buffer(1).size(), std::size_t{1});
+  EXPECT_EQ(net.buffer(1)[0].destination, 2);
+  EXPECT_EQ(net.buffer(1)[0].hops, 0);
+}
+
+POPS_TEST(SingleSlotDelivery) {
+  // POPS(1, 4): any permutation routes in one slot.
+  const Topology topo(1, 4);
+  Network net(topo);
+  net.load_permutation_traffic(vector_reversal(4));
+  SlotPlan slot;
+  for (int p = 0; p < 4; ++p) {
+    slot.transmissions.push_back(Transmission{p, 3 - p, p});
+  }
+  EXPECT_TRUE(net.execute_slot(slot));
+  EXPECT_TRUE(net.ok());
+  EXPECT_TRUE(net.all_delivered());
+  EXPECT_EQ(net.buffer(3)[0].hops, 1);
+  EXPECT_EQ(net.stats().slots_executed, 1LL);
+  EXPECT_EQ(net.stats().packets_moved, 4LL);
+  // All four used couplers are off-diagonal plus... exactly 4 busy.
+  EXPECT_EQ(net.stats().coupler_slots_busy, 4LL);
+  EXPECT_EQ(net.stats().coupler_slot_capacity, 16LL);
+  EXPECT_TRUE(net.stats().average_coupler_utilization() > 0.24);
+}
+
+POPS_TEST(MulticastFromOneTransmitter) {
+  // One source drives two couplers with the same packet (optical
+  // multicast to two groups).
+  const Topology topo(2, 2);
+  Network net(topo);
+  net.load_packet(Packet{7, 0, -1, 1, 0});
+  SlotPlan slot;
+  slot.transmissions.push_back(Transmission{0, 1, 7});
+  slot.transmissions.push_back(Transmission{0, 2, 7});
+  EXPECT_TRUE(net.execute_slot(slot));
+  EXPECT_EQ(net.buffer(1).size(), std::size_t{1});
+  EXPECT_EQ(net.buffer(2).size(), std::size_t{1});
+  EXPECT_EQ(net.buffer(0).size(), std::size_t{0});
+  EXPECT_EQ(net.packet_count(), 2);
+}
+
+POPS_TEST(RejectsCouplerOversubscription) {
+  const Topology topo(2, 2);
+  Network net(topo);
+  net.load_permutation_traffic(vector_reversal(4));
+  // Packets 0 (0 -> 3) and 1 (1 -> 2) both need coupler c(1, 0).
+  SlotPlan slot;
+  slot.transmissions.push_back(Transmission{0, 3, 0});
+  slot.transmissions.push_back(Transmission{1, 2, 1});
+  EXPECT_FALSE(net.execute_slot(slot));
+  EXPECT_FALSE(net.ok());
+  EXPECT_TRUE(net.failure().find("oversubscribed") != std::string::npos);
+  // The failure is sticky and nothing moved.
+  EXPECT_EQ(net.buffer(0).size(), std::size_t{1});
+  EXPECT_FALSE(net.execute_slot(SlotPlan{}));
+}
+
+POPS_TEST(RejectsDoubleSendAndDoubleReceive) {
+  const Topology topo(2, 2);
+  {
+    Network net(topo);
+    net.load_packet(Packet{0, 0, 2, 1, 0});
+    net.load_packet(Packet{1, 0, 1, 1, 0});
+    SlotPlan slot;
+    slot.transmissions.push_back(Transmission{0, 2, 0});
+    slot.transmissions.push_back(Transmission{0, 1, 1});
+    EXPECT_FALSE(net.execute_slot(slot));
+    EXPECT_TRUE(net.failure().find("two different packets") !=
+                std::string::npos);
+  }
+  {
+    Network net(topo);
+    net.load_packet(Packet{0, 0, 3, 1, 0});
+    net.load_packet(Packet{1, 2, 3, 1, 0});
+    // Sources sit in different groups, so the couplers are distinct and
+    // the double-receive at processor 3 is the first violation.
+    SlotPlan slot;
+    slot.transmissions.push_back(Transmission{0, 3, 0});
+    slot.transmissions.push_back(Transmission{2, 3, 1});
+    EXPECT_FALSE(net.execute_slot(slot));
+    EXPECT_TRUE(net.failure().find("more than one coupler") !=
+                std::string::npos);
+  }
+}
+
+POPS_TEST(RejectsPhantomPacket) {
+  const Topology topo(2, 2);
+  Network net(topo);
+  net.load_permutation_traffic(Permutation::identity(4));
+  SlotPlan slot;
+  slot.transmissions.push_back(Transmission{0, 1, 99});
+  EXPECT_FALSE(net.execute_slot(slot));
+  EXPECT_TRUE(net.failure().find("does not hold packet 99") !=
+              std::string::npos);
+}
+
+POPS_TEST(ResetAndReloadClearFailures) {
+  const Topology topo(2, 2);
+  Network net(topo);
+  net.load_permutation_traffic(Permutation::identity(4));
+  SlotPlan bad;
+  bad.transmissions.push_back(Transmission{0, 1, 99});
+  EXPECT_FALSE(net.execute_slot(bad));
+  net.load_permutation_traffic(Permutation::identity(4));
+  EXPECT_TRUE(net.ok());
+  EXPECT_TRUE(net.all_delivered());  // identity: loaded at destination
+  net.reset();
+  EXPECT_EQ(net.packet_count(), 0);
+  EXPECT_EQ(net.stats().slots_executed, 0LL);
+}
+
+}  // namespace
+}  // namespace pops

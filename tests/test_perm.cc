@@ -1,0 +1,82 @@
+#include "perm/families.h"
+#include "perm/permutation.h"
+#include "support/prng.h"
+#include "tests/testing.h"
+
+namespace pops {
+namespace {
+
+POPS_TEST(IdentityPermutation) {
+  const Permutation id = Permutation::identity(5);
+  EXPECT_EQ(id.size(), 5);
+  EXPECT_TRUE(id.is_identity());
+  EXPECT_FALSE(id.is_derangement());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(id(i), i);
+  }
+  EXPECT_EQ(Permutation::identity(0).size(), 0);
+}
+
+POPS_TEST(RandomPermutationIsBijective) {
+  Rng rng(1);
+  for (const int n : {1, 2, 17, 256}) {
+    const Permutation pi = Permutation::random(n, rng);
+    EXPECT_EQ(pi.size(), n);
+    std::vector<bool> seen(as_size(n), false);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_FALSE(seen[as_size(pi(i))]);
+      seen[as_size(pi(i))] = true;
+    }
+  }
+}
+
+POPS_TEST(RandomDerangementHasNoFixedPoints) {
+  Rng rng(2);
+  for (const int n : {2, 3, 10, 100}) {
+    const Permutation pi = Permutation::random_derangement(n, rng);
+    EXPECT_TRUE(pi.is_derangement());
+  }
+}
+
+POPS_TEST(InverseComposesToIdentity) {
+  Rng rng(3);
+  const Permutation pi = Permutation::random(40, rng);
+  const Permutation inv = pi.inverse();
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(inv(pi(i)), i);
+    EXPECT_EQ(pi(inv(i)), i);
+  }
+}
+
+POPS_TEST(CycleNotation) {
+  // The Figure 3 permutation of the paper.
+  const Permutation pi({5, 1, 7, 2, 0, 6, 3, 8, 4});
+  EXPECT_EQ(pi.to_string(), "(0 5 6 3 2 7 8 4)(1)");
+  EXPECT_EQ(Permutation::identity(2).to_string(), "(0)(1)");
+}
+
+POPS_TEST(VectorReversal) {
+  const Permutation rev = vector_reversal(6);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(rev(i), 5 - i);
+  }
+  EXPECT_TRUE(vector_reversal(2).is_derangement());
+}
+
+POPS_TEST(GroupRotation) {
+  // POPS(2, 3): processor (group, index) -> (group + 1 mod 3, index).
+  const Permutation rot = group_rotation(2, 3, 1);
+  EXPECT_EQ(rot.size(), 6);
+  EXPECT_EQ(rot(0), 2);
+  EXPECT_EQ(rot(1), 3);
+  EXPECT_EQ(rot(4), 0);
+  EXPECT_EQ(rot(5), 1);
+  EXPECT_TRUE(rot.is_derangement());
+  // Shift 0 is the identity; negative shifts wrap.
+  EXPECT_TRUE(group_rotation(4, 4, 0).is_identity());
+  EXPECT_TRUE(group_rotation(2, 3, -1)
+                  .images() == group_rotation(2, 3, 2).images());
+}
+
+}  // namespace
+}  // namespace pops

@@ -1,0 +1,101 @@
+#include <sstream>
+
+#include "support/format.h"
+#include "support/prng.h"
+#include "support/table.h"
+#include "support/timer.h"
+#include "tests/testing.h"
+
+namespace pops {
+namespace {
+
+POPS_TEST(RngIsDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+  Rng c(43);
+  Rng d(42);
+  bool all_equal = true;
+  for (int i = 0; i < 16; ++i) {
+    all_equal = all_equal && c.next_u64() == d.next_u64();
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+POPS_TEST(RngBoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int value = rng.next_below(17);
+    EXPECT_TRUE(value >= 0 && value < 17);
+    const int ranged = rng.uniform_int(-3, 3);
+    EXPECT_TRUE(ranged >= -3 && ranged <= 3);
+    const double real = rng.next_double();
+    EXPECT_TRUE(real >= 0.0 && real < 1.0);
+  }
+}
+
+POPS_TEST(RngShufflePermutes) {
+  Rng rng(11);
+  std::vector<int> values{0, 1, 2, 3, 4, 5, 6, 7};
+  rng.shuffle(values);
+  EXPECT_EQ(values.size(), std::size_t{8});
+  std::vector<bool> seen(8, false);
+  for (const int v : values) {
+    EXPECT_TRUE(v >= 0 && v < 8);
+    EXPECT_FALSE(seen[as_size(v)]);
+    seen[as_size(v)] = true;
+  }
+}
+
+POPS_TEST(FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+POPS_TEST(StrCat) {
+  EXPECT_EQ(str_cat("POPS(", 3, ",", 3, ")"), "POPS(3,3)");
+  EXPECT_EQ(str_cat(), "");
+}
+
+POPS_TEST(AsSizeRoundTrips) {
+  EXPECT_EQ(as_size(0), std::size_t{0});
+  EXPECT_EQ(as_size(41), std::size_t{41});
+}
+
+POPS_TEST(TimerAdvances) {
+  Timer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) sink = sink + 1.0;
+  EXPECT_TRUE(timer.nanos() > 0);
+  EXPECT_TRUE(timer.seconds() >= 0);
+}
+
+POPS_TEST(TablePrintsAlignedColumns) {
+  Table table({"name", "value"});
+  table.add("alpha", 1);
+  table.add(std::string("beta"), format_double(2.5, 1));
+  EXPECT_EQ(table.row_count(), 2);
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_TRUE(text.find("name") != std::string::npos);
+  EXPECT_TRUE(text.find("alpha") != std::string::npos);
+  EXPECT_TRUE(text.find("2.5") != std::string::npos);
+  EXPECT_TRUE(text.find("----") != std::string::npos);
+}
+
+POPS_TEST(TableHandlesRaggedRows) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  table.add_row({"1", "2", "3", "4"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_TRUE(out.str().find("only-one") != std::string::npos);
+  EXPECT_TRUE(out.str().find("4") != std::string::npos);
+}
+
+}  // namespace
+}  // namespace pops

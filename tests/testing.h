@@ -1,0 +1,72 @@
+// Tiny self-contained test framework (no external dependency, so the
+// tier-1 suite builds hermetically everywhere).
+//
+//   POPS_TEST(SuiteAndName) { EXPECT_EQ(2 + 2, 4); }
+//
+// Each test binary links testing_main.cc, which runs every registered
+// test and exits non-zero when any expectation failed.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pops::testing {
+
+struct TestCase {
+  std::string name;
+  std::function<void()> body;
+};
+
+std::vector<TestCase>& registry();
+bool register_test(const std::string& name, std::function<void()> body);
+void report_failure(const std::string& file, int line,
+                    const std::string& message);
+int run_all_tests();
+
+}  // namespace pops::testing
+
+#define POPS_TEST(name)                                              \
+  static void pops_test_##name();                                    \
+  static const bool pops_test_registered_##name =                    \
+      ::pops::testing::register_test(#name, pops_test_##name);       \
+  static void pops_test_##name()
+
+#define EXPECT_TRUE(condition)                                       \
+  do {                                                               \
+    if (!(condition)) {                                              \
+      ::pops::testing::report_failure(__FILE__, __LINE__,            \
+                                      "expected true: " #condition); \
+    }                                                                \
+  } while (false)
+
+#define EXPECT_FALSE(condition)                                       \
+  do {                                                                \
+    if (condition) {                                                  \
+      ::pops::testing::report_failure(__FILE__, __LINE__,             \
+                                      "expected false: " #condition); \
+    }                                                                 \
+  } while (false)
+
+#define EXPECT_EQ(a, b)                                              \
+  do {                                                               \
+    const auto& expect_eq_a = (a);                                   \
+    const auto& expect_eq_b = (b);                                   \
+    if (!(expect_eq_a == expect_eq_b)) {                             \
+      std::ostringstream expect_eq_out;                              \
+      expect_eq_out << "expected " #a " == " #b " but got "          \
+                    << expect_eq_a << " vs " << expect_eq_b;         \
+      ::pops::testing::report_failure(__FILE__, __LINE__,            \
+                                      expect_eq_out.str());          \
+    }                                                                \
+  } while (false)
+
+#define EXPECT_NE(a, b)                                              \
+  do {                                                               \
+    if ((a) == (b)) {                                                \
+      ::pops::testing::report_failure(__FILE__, __LINE__,            \
+                                      "expected " #a " != " #b);     \
+    }                                                                \
+  } while (false)

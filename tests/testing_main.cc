@@ -1,0 +1,46 @@
+#include "tests/testing.h"
+
+namespace pops::testing {
+
+std::vector<TestCase>& registry() {
+  static std::vector<TestCase> tests;
+  return tests;
+}
+
+namespace {
+int failure_count = 0;
+}  // namespace
+
+bool register_test(const std::string& name, std::function<void()> body) {
+  registry().push_back(TestCase{name, std::move(body)});
+  return true;
+}
+
+void report_failure(const std::string& file, int line,
+                    const std::string& message) {
+  ++failure_count;
+  std::cerr << "  FAILED " << file << ":" << line << ": " << message
+            << '\n';
+}
+
+int run_all_tests() {
+  int failed_tests = 0;
+  for (const TestCase& test : registry()) {
+    const int before = failure_count;
+    std::cout << "[ RUN  ] " << test.name << '\n';
+    test.body();
+    if (failure_count == before) {
+      std::cout << "[  OK  ] " << test.name << '\n';
+    } else {
+      std::cout << "[ FAIL ] " << test.name << '\n';
+      ++failed_tests;
+    }
+  }
+  std::cout << registry().size() - static_cast<std::size_t>(failed_tests)
+            << " / " << registry().size() << " tests passed\n";
+  return failed_tests == 0 ? 0 : 1;
+}
+
+}  // namespace pops::testing
+
+int main() { return pops::testing::run_all_tests(); }
