@@ -85,7 +85,7 @@ void print_tables() {
         POPS_CHECK(vr.ok, "portfolio schedule failed: " + vr.failure);
         portfolio_table.add(topo.to_string(), c.name, to_string(plan.strategy),
                   plan.slot_count(), plan.theorem2_slot_count,
-                  plan.direct_slots);
+                  plan.direct_slot_count);
       }
     }
     portfolio_table.print(std::cout);

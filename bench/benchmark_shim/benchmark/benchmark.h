@@ -6,7 +6,9 @@
 // iteration, BENCHMARK()->Args(), counters, and the
 // --benchmark_min_time flag — with a simple doubling calibration loop.
 // Numbers from the shim are honest wall-clock measurements but lack
-// the real library's statistics; CI always uses the real library.
+// the real library's statistics. CI exercises both resolutions: the
+// build-test and sanitize jobs use the real library via FetchContent,
+// and the hermetic shim job smoke-runs every bench on this header.
 #pragma once
 
 #include <chrono>
@@ -14,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -70,8 +73,11 @@ struct Registration {
   std::vector<std::vector<std::int64_t>> arg_sets;
 };
 
-inline std::vector<Registration*>& registry() {
-  static std::vector<Registration*> benchmarks;
+// Deques for stable addresses; static storage so LeakSanitizer stays
+// quiet in shim + asan builds (the registrations live for the whole
+// program anyway).
+inline std::deque<Registration>& registry() {
+  static std::deque<Registration> benchmarks;
   return benchmarks;
 }
 
@@ -150,11 +156,16 @@ inline void run_registration(const Registration& registration) {
   }
 }
 
+inline std::deque<Benchmark>& benchmark_handles() {
+  static std::deque<Benchmark> handles;
+  return handles;
+}
+
 inline Benchmark* register_benchmark(const char* name,
                                      Function function) {
-  auto* registration = new Registration{name, function, {}};
-  registry().push_back(registration);
-  return new Benchmark(registration);
+  registry().push_back(Registration{name, function, {}});
+  benchmark_handles().emplace_back(&registry().back());
+  return &benchmark_handles().back();
 }
 
 }  // namespace internal
@@ -194,9 +205,9 @@ inline bool ReportUnrecognizedArguments(int argc, char** argv) {
 inline void RunSpecifiedBenchmarks() {
   std::printf("%-48s %15s %16s\n", "Benchmark (shim)", "Time", "Iterations");
   std::printf("%s\n", std::string(81, '-').c_str());
-  for (const internal::Registration* registration :
+  for (const internal::Registration& registration :
        internal::registry()) {
-    internal::run_registration(*registration);
+    internal::run_registration(registration);
   }
 }
 

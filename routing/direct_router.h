@@ -1,0 +1,45 @@
+// Direct (no-intermediate) permutation routing on POPS(d, g).
+//
+// The baseline Theorem 2 competes against: every packet crosses the
+// network in one hop, straight from its source to the coupler
+// c(group(destination), group(source)). In a permutation the sources
+// and the destinations are pairwise distinct, so the only contended
+// resource is the coupler; a greedy slot-by-slot schedule that drains
+// one packet per coupler per slot therefore finishes in exactly
+// max_demand slots, where max_demand is the largest number of packets
+// sharing one coupler. That is optimal among direct schedules and
+// exact (one slot) on demand-1 traffic — Gravenstreter & Melhem's
+// single-slot class.
+//
+// The crossover against Theorem 2's flat 2 * ceil(d / g):
+//   * random traffic, d >> g: max_demand concentrates near d/g, so
+//     direct wins by about a factor 2;
+//   * adversarial group-block traffic (vector reversal, group
+//     rotation): all d packets of a group share one coupler, so
+//     direct degrades to d slots — worse by a factor g/2.
+#pragma once
+
+#include <vector>
+
+#include "perm/permutation.h"
+#include "pops/network.h"
+
+namespace pops {
+
+struct DirectPlan {
+  /// Exactly max_demand slots (1 when max_demand <= 1).
+  std::vector<SlotPlan> slots;
+  /// Largest number of packets sharing one coupler — the exact length
+  /// of the greedy schedule and a lower bound for any direct schedule.
+  int max_demand = 0;
+
+  int slot_count() const { return as_int(slots.size()); }
+};
+
+/// Builds the greedy direct schedule for pi: slot t carries the t-th
+/// pending packet of every coupler queue. The schedule honors the
+/// one-packet-per-coupler, one-send-per-transmitter and
+/// one-tune-per-receiver rules by construction.
+DirectPlan route_direct(const Topology& topo, const Permutation& pi);
+
+}  // namespace pops

@@ -1,0 +1,45 @@
+// Portfolio routing: run the Theorem 2 router and the direct router
+// on the same permutation, verify both schedules on the strict
+// simulator, and keep the one with fewer slots.
+//
+// This is the API future workloads route through: callers get the
+// random-traffic speed of direct routing (max demand ~ d/g) without
+// ever giving up the paper's flat 2 * ceil(d / g) worst-case
+// guarantee, because the adversarial group-block patterns that
+// degrade direct routing to d slots flip the choice to Theorem 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "routing/direct_router.h"
+#include "routing/router.h"
+
+namespace pops {
+
+enum class RouteStrategy {
+  kDirect = 0,
+  kTheorem2 = 1,
+};
+
+std::string to_string(RouteStrategy strategy);
+
+struct PortfolioPlan {
+  /// The candidate that won (direct wins ties: same length, one hop
+  /// per packet and no relay buffering).
+  RouteStrategy strategy = RouteStrategy::kDirect;
+  std::vector<SlotPlan> slots;
+  /// Verified slot counts of both candidates.
+  int direct_slot_count = 0;
+  int theorem2_slot_count = 0;
+
+  int slot_count() const { return as_int(slots.size()); }
+};
+
+/// Routes pi with both candidates, verifies both schedules, and
+/// returns the shorter one. Never exceeds
+/// min(direct max demand, theorem2_slots(topo)).
+PortfolioPlan best_route(const Topology& topo, const Permutation& pi,
+                         const RouterOptions& options = {});
+
+}  // namespace pops

@@ -1,8 +1,28 @@
 #include "routing/verify.h"
 
+#include "routing/h_relation.h"
 #include "support/format.h"
 
 namespace pops {
+namespace {
+
+// "" when every packet sits at its destination, else a description of
+// the first stranded (undelivered or misdelivered) packet.
+std::string first_stranded_packet(const Network& net) {
+  const Topology& topo = net.topology();
+  for (int p = 0; p < topo.processor_count(); ++p) {
+    for (const Packet& packet : net.buffer(p)) {
+      if (packet.destination != p) {
+        return str_cat("packet ", packet.id, " (", packet.source, " -> ",
+                       packet.destination, ") stranded at processor ", p,
+                       " after ", net.stats().slots_executed, " slots");
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
 
 VerificationResult verify_schedule(const Topology& topo,
                                    const Permutation& pi,
@@ -21,17 +41,8 @@ VerificationResult verify_schedule(const Topology& topo,
   }
   // Full, correct delivery: every processor ends up holding exactly the
   // packet addressed to it.
-  for (int p = 0; p < topo.processor_count(); ++p) {
-    for (const Packet& packet : net.buffer(p)) {
-      if (packet.destination != p) {
-        result.failure = str_cat(
-            "packet ", packet.id, " (", packet.source, " -> ",
-            packet.destination, ") stranded at processor ", p, " after ",
-            slots.size(), " slots");
-        return result;
-      }
-    }
-  }
+  result.failure = first_stranded_packet(net);
+  if (!result.failure.empty()) return result;
   const Permutation inverse = pi.inverse();
   for (int p = 0; p < topo.processor_count(); ++p) {
     const int expected_id = inverse(p);
@@ -51,6 +62,41 @@ VerificationResult verify_schedule(const Topology& topo,
   }
   result.ok = true;
   return result;
+}
+
+std::string verify_h_relation(const Topology& topo,
+                              const std::vector<Request>& requests,
+                              const HRelationPlan& plan) {
+  const int n = topo.processor_count();
+  Network net(topo);
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    const Request& request = requests[k];
+    if (request.source < 0 || request.source >= n ||
+        request.destination < 0 || request.destination >= n) {
+      return str_cat("request ", k, " (", request.source, " -> ",
+                     request.destination, ") does not fit ",
+                     topo.to_string());
+    }
+    net.load_packet(
+        Packet{as_int(k), request.source, request.destination, 1, 0});
+  }
+  if (!net.execute(plan.all_slots())) return net.failure();
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    const Request& request = requests[k];
+    bool found = false;
+    for (const Packet& packet : net.buffer(request.destination)) {
+      if (packet.id == as_int(k)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return str_cat("request ", k, " (", request.source, " -> ",
+                     request.destination, ") was not delivered after ",
+                     plan.total_slots(), " slots");
+    }
+  }
+  return first_stranded_packet(net);
 }
 
 }  // namespace pops

@@ -14,6 +14,11 @@
 
 namespace pops {
 
+// From routing/h_relation.h — forward-declared so verify.h stays
+// below the routing stack in the include graph.
+struct Request;
+struct HRelationPlan;
+
 struct VerificationResult {
   bool ok = false;
   /// Human-readable reason for the first violation when !ok.
@@ -28,5 +33,14 @@ struct VerificationResult {
 VerificationResult verify_schedule(const Topology& topo,
                                    const Permutation& pi,
                                    const std::vector<SlotPlan>& slots);
+
+/// h-relation counterpart of verify_schedule: loads one packet per
+/// request (id == request index), executes every phase's slots in
+/// order under the strict POPS model, and checks that each request's
+/// packet ends at its destination with nothing stranded elsewhere.
+/// Returns "" on success, else a description of the first violation.
+std::string verify_h_relation(const Topology& topo,
+                              const std::vector<Request>& requests,
+                              const HRelationPlan& plan);
 
 }  // namespace pops

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Smoke-runs every wired bench binary in a build tree with
+# --benchmark_min_time=0.01x (each table row is backed by a verified
+# schedule, so any routing regression fails the run).
+#
+# The bench list comes from the manifest bench/CMakeLists.txt writes at
+# configure time (<build-dir>/bench/wired_benches.txt), so a wired
+# bench whose binary is missing is a hard failure, not a silently
+# shorter loop. Without a manifest (older build tree) the script falls
+# back to globbing and requires at least MIN_BENCHES binaries.
+#
+# Usage: scripts/bench_smoke.sh <build-dir> [table-output-dir]
+set -euo pipefail
+
+build_dir="${1:?usage: bench_smoke.sh <build-dir> [table-output-dir]}"
+table_dir="${2:-}"
+min_benches="${MIN_BENCHES:-4}"
+manifest="$build_dir/bench/wired_benches.txt"
+
+[ -n "$table_dir" ] && mkdir -p "$table_dir"
+
+run_bench() {
+  local bench="$1"
+  local name
+  name="$(basename "$bench")"
+  echo "::group::${name}"
+  if [ -n "$table_dir" ]; then
+    "$bench" --benchmark_min_time=0.01x | tee "$table_dir/${name}.txt"
+  else
+    "$bench" --benchmark_min_time=0.01x
+  fi
+  echo "::endgroup::"
+}
+
+ran=0
+if [ -f "$manifest" ]; then
+  while IFS= read -r name; do
+    [ -n "$name" ] || continue
+    bench="$build_dir/bench/$name"
+    if [ ! -x "$bench" ]; then
+      echo "wired bench $name has no executable at $bench" >&2
+      exit 1
+    fi
+    run_bench "$bench"
+    ran=$((ran + 1))
+  done < "$manifest"
+  echo "ran ${ran} wired bench binaries (manifest)"
+  test "$ran" -ge 1
+else
+  for bench in "$build_dir"/bench/bench_*; do
+    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    run_bench "$bench"
+    ran=$((ran + 1))
+  done
+  echo "ran ${ran} bench binaries (glob fallback)"
+  test "$ran" -ge "$min_benches"
+fi

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 
 namespace pops {
@@ -37,6 +38,15 @@ namespace detail {
 inline std::size_t as_size(long long value) {
   POPS_CHECK(value >= 0, "as_size on negative value");
   return static_cast<std::size_t>(value);
+}
+
+/// Checked size_t -> int conversion for container sizes fed to the
+/// int-based routing APIs and tables.
+inline int as_int(std::size_t value) {
+  POPS_CHECK(
+      value <= static_cast<std::size_t>(std::numeric_limits<int>::max()),
+      "as_int on a value that does not fit an int");
+  return static_cast<int>(value);
 }
 
 }  // namespace pops

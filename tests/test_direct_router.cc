@@ -1,0 +1,121 @@
+#include "perm/families.h"
+#include "routing/direct_router.h"
+#include "routing/portfolio.h"
+#include "routing/verify.h"
+#include "support/prng.h"
+#include "tests/testing.h"
+
+namespace pops {
+namespace {
+
+// Transpose traffic on POPS(size, size): (group i, index j) ->
+// (group j, index i). Every coupler c(j, i) carries exactly one
+// packet, so the direct router must finish in a single slot.
+Permutation group_transpose(int size) {
+  std::vector<int> images(as_size(size * size));
+  for (int p = 0; p < size * size; ++p) {
+    const int group = p / size;
+    const int index = p % size;
+    images[as_size(p)] = index * size + group;
+  }
+  return Permutation(std::move(images));
+}
+
+POPS_TEST(DirectRoutesDemandOneTrafficInOneSlot) {
+  for (const int size : {2, 4, 8}) {
+    const Topology topo(size, size);
+    const Permutation pi = group_transpose(size);
+    const DirectPlan plan = route_direct(topo, pi);
+    EXPECT_EQ(plan.max_demand, 1);
+    EXPECT_EQ(plan.slot_count(), 1);
+    EXPECT_TRUE(verify_schedule(topo, pi, plan.slots).ok);
+  }
+}
+
+// Adversarial group-block traffic: all d packets of a group cross one
+// coupler, so direct routing degrades to exactly d slots while
+// Theorem 2 stays flat at 2 * ceil(d / g) — the paper's worst-case
+// separation, machine-checked on both routers.
+POPS_TEST(AdversarialTrafficSeparatesDirectFromTheorem2) {
+  for (const auto& [d, g] :
+       {std::pair{2, 4}, {4, 4}, {8, 2}, {3, 5}, {16, 4}}) {
+    const Topology topo(d, g);
+    const int n = topo.processor_count();
+    const Permutation cases[] = {group_rotation(d, g, 1),
+                                 vector_reversal(n)};
+    for (const Permutation& pi : cases) {
+      const DirectPlan direct = route_direct(topo, pi);
+      EXPECT_EQ(direct.max_demand, d);
+      EXPECT_EQ(direct.slot_count(), d);
+      EXPECT_TRUE(verify_schedule(topo, pi, direct.slots).ok);
+
+      const RoutePlan theorem2 = route_permutation(topo, pi);
+      EXPECT_EQ(theorem2.slot_count(), theorem2_slots(topo));
+      EXPECT_TRUE(verify_schedule(topo, pi, theorem2.slots).ok);
+    }
+  }
+}
+
+POPS_TEST(DirectTakesExactlyMaxDemandSlotsOnRandomTraffic) {
+  Rng rng(23);
+  for (const auto& [d, g] :
+       {std::pair{1, 8}, {4, 4}, {8, 4}, {16, 2}, {6, 7}}) {
+    const Topology topo(d, g);
+    for (int trial = 0; trial < 5; ++trial) {
+      const Permutation pi =
+          Permutation::random(topo.processor_count(), rng);
+      const DirectPlan plan = route_direct(topo, pi);
+      EXPECT_EQ(plan.slot_count(), plan.max_demand);
+      // d*g packets over g^2 couplers: some coupler holds >= ceil(d/g).
+      EXPECT_TRUE(plan.max_demand >= (d + g - 1) / g);
+      EXPECT_TRUE(verify_schedule(topo, pi, plan.slots).ok);
+    }
+  }
+}
+
+POPS_TEST(PortfolioNeverExceedsEitherCandidate) {
+  Rng rng(24);
+  for (const auto& [d, g] :
+       {std::pair{1, 8}, {2, 16}, {4, 4}, {16, 4}, {16, 2}}) {
+    const Topology topo(d, g);
+    const int n = topo.processor_count();
+    const Permutation cases[] = {Permutation::random(n, rng),
+                                 group_rotation(d, g, g > 1 ? 1 : 0),
+                                 vector_reversal(n)};
+    for (const Permutation& pi : cases) {
+      const PortfolioPlan plan = best_route(topo, pi);
+      EXPECT_EQ(plan.theorem2_slot_count, theorem2_slots(topo));
+      EXPECT_EQ(plan.direct_slot_count, route_direct(topo, pi).max_demand);
+      const int better = plan.direct_slot_count < plan.theorem2_slot_count
+                             ? plan.direct_slot_count
+                             : plan.theorem2_slot_count;
+      EXPECT_EQ(plan.slot_count(), better);
+      EXPECT_TRUE(verify_schedule(topo, pi, plan.slots).ok);
+    }
+  }
+}
+
+POPS_TEST(PortfolioFlipsToTheorem2OnAdversarialTraffic) {
+  // POPS(16, 4): Theorem 2 charges 8 slots, group rotation costs
+  // direct routing 16 — the portfolio must pick Theorem 2.
+  const Topology topo(16, 4);
+  const PortfolioPlan adversarial =
+      best_route(topo, group_rotation(16, 4, 1));
+  EXPECT_TRUE(adversarial.strategy == RouteStrategy::kTheorem2);
+  EXPECT_EQ(adversarial.slot_count(), theorem2_slots(topo));
+
+  // Transpose traffic routes directly in one slot < 2; the portfolio
+  // must pick direct.
+  const Topology square(4, 4);
+  const PortfolioPlan easy = best_route(square, group_transpose(4));
+  EXPECT_TRUE(easy.strategy == RouteStrategy::kDirect);
+  EXPECT_EQ(easy.slot_count(), 1);
+}
+
+POPS_TEST(RouteStrategyNames) {
+  EXPECT_EQ(to_string(RouteStrategy::kDirect), "direct");
+  EXPECT_EQ(to_string(RouteStrategy::kTheorem2), "theorem2");
+}
+
+}  // namespace
+}  // namespace pops

@@ -1,0 +1,110 @@
+#include "routing/h_relation.h"
+#include "routing/verify.h"
+#include "support/prng.h"
+#include "tests/testing.h"
+
+namespace pops {
+namespace {
+
+// The union of h random permutations: every processor sends exactly h
+// and receives exactly h packets, so the relation's degree is h with
+// certainty (not just w.h.p.).
+std::vector<Request> union_of_permutations(const Topology& topo, int h,
+                                           Rng& rng) {
+  std::vector<Request> requests;
+  for (int k = 0; k < h; ++k) {
+    const Permutation pi =
+        Permutation::random(topo.processor_count(), rng);
+    for (int i = 0; i < pi.size(); ++i) {
+      requests.push_back(Request{i, pi(i)});
+    }
+  }
+  return requests;
+}
+
+POPS_TEST(RoutesUnionOfPermutationsAtTheBudget) {
+  Rng rng(31);
+  for (const auto& [d, g] :
+       {std::pair{1, 8}, {2, 2}, {4, 4}, {8, 4}, {4, 8}}) {
+    const Topology topo(d, g);
+    for (const int h : {1, 2, 3}) {
+      const auto requests = union_of_permutations(topo, h, rng);
+      const HRelationPlan plan = route_h_relation(topo, requests);
+      EXPECT_EQ(plan.h, h);
+      EXPECT_EQ(as_int(plan.phases.size()), h);
+      EXPECT_EQ(plan.total_slots(), h * theorem2_slots(topo));
+      for (const HRelationPhase& phase : plan.phases) {
+        EXPECT_EQ(as_int(phase.slots.size()), theorem2_slots(topo));
+      }
+      EXPECT_EQ(verify_h_relation(topo, requests, plan), "");
+    }
+  }
+}
+
+POPS_TEST(EveryColoringBackendRoutesTheRelation) {
+  Rng rng(32);
+  const Topology topo(4, 4);
+  const auto requests = union_of_permutations(topo, 2, rng);
+  for (const auto algorithm : kAllColoringAlgorithms) {
+    RouterOptions options;
+    options.coloring = algorithm;
+    const HRelationPlan plan = route_h_relation(topo, requests, options);
+    EXPECT_EQ(plan.h, 2);
+    EXPECT_EQ(verify_h_relation(topo, requests, plan), "");
+  }
+}
+
+POPS_TEST(RoutesUnbalancedRelations) {
+  // A hot sender: processor 0 holds 3 packets, everyone else is idle.
+  const Topology topo(2, 3);
+  const std::vector<Request> hot = {{0, 1}, {0, 4}, {0, 5}};
+  const HRelationPlan hot_plan = route_h_relation(topo, hot);
+  EXPECT_EQ(hot_plan.h, 3);
+  EXPECT_EQ(hot_plan.total_slots(), 3 * theorem2_slots(topo));
+  EXPECT_EQ(verify_h_relation(topo, hot, hot_plan), "");
+
+  // A hot receiver plus a self-request (delivered without moving).
+  const std::vector<Request> mixed = {{1, 2}, {3, 2}, {5, 2}, {4, 4}};
+  const HRelationPlan mixed_plan = route_h_relation(topo, mixed);
+  EXPECT_EQ(mixed_plan.h, 3);
+  EXPECT_EQ(verify_h_relation(topo, mixed, mixed_plan), "");
+}
+
+POPS_TEST(EmptyRelationRoutesInZeroSlots) {
+  const Topology topo(4, 4);
+  const std::vector<Request> none;
+  const HRelationPlan plan = route_h_relation(topo, none);
+  EXPECT_EQ(plan.h, 0);
+  EXPECT_EQ(as_int(plan.phases.size()), 0);
+  EXPECT_EQ(plan.total_slots(), 0);
+  EXPECT_EQ(verify_h_relation(topo, none, plan), "");
+}
+
+// verify_h_relation is only trustworthy if it rejects broken plans.
+POPS_TEST(VerifierRejectsCorruptedPlans) {
+  Rng rng(33);
+  const Topology topo(1, 6);  // one slot per phase: easy to corrupt
+  const auto requests = union_of_permutations(topo, 2, rng);
+  const HRelationPlan plan = route_h_relation(topo, requests);
+  EXPECT_EQ(verify_h_relation(topo, requests, plan), "");
+
+  // Dropping a phase strands that phase's packets at their sources.
+  HRelationPlan truncated = plan;
+  truncated.phases.pop_back();
+  EXPECT_NE(verify_h_relation(topo, requests, truncated), "");
+
+  // Bending one transmission misdelivers (or double-books a receiver).
+  HRelationPlan bent = plan;
+  Transmission& t = bent.phases[0].slots[0].transmissions[0];
+  t.destination = (t.destination + 1) % topo.processor_count();
+  EXPECT_NE(verify_h_relation(topo, requests, bent), "");
+
+  // Naming a packet the transmitter does not hold is a model
+  // violation the simulator refuses outright.
+  HRelationPlan phantom = plan;
+  phantom.phases[0].slots[0].transmissions[0].packet = -7;
+  EXPECT_NE(verify_h_relation(topo, requests, phantom), "");
+}
+
+}  // namespace
+}  // namespace pops
