@@ -3,12 +3,15 @@
 // Build-time fallback used when neither an installed google-benchmark
 // nor FetchContent is available (e.g. a network-less container). It
 // implements just the API surface the bench/ binaries use — State
-// iteration, BENCHMARK()->Args(), counters, and the
-// --benchmark_min_time flag — with a simple doubling calibration loop.
-// Numbers from the shim are honest wall-clock measurements but lack
-// the real library's statistics. CI exercises both resolutions: the
-// build-test and sanitize jobs use the real library via FetchContent,
-// and the hermetic shim job smoke-runs every bench on this header.
+// iteration, BENCHMARK()->Args(), counters, the
+// --benchmark_min_time flag, and the --benchmark_format /
+// --benchmark_out / --benchmark_out_format=json reporters the smoke
+// script uses to accumulate the perf trajectory — with a simple
+// doubling calibration loop. Numbers from the shim are honest
+// wall-clock measurements but lack the real library's statistics. CI
+// exercises both resolutions: the build-test and sanitize jobs use the
+// real library via FetchContent, and the hermetic shim job smoke-runs
+// every bench on this header.
 #pragma once
 
 #include <chrono>
@@ -91,6 +94,85 @@ inline std::int64_t& fixed_iterations() {
   return iterations;
 }
 
+// Reporter configuration (--benchmark_format / --benchmark_out*).
+inline bool& console_json() {
+  static bool json = false;  // --benchmark_format=json
+  return json;
+}
+
+inline std::string& out_path() {
+  static std::string path;  // --benchmark_out=<file> ("" = none)
+  return path;
+}
+
+struct Result {
+  std::string name;
+  std::int64_t iterations;
+  double ns_per_iter;
+  double items_per_second;  // 0 when not set
+  std::string label;
+};
+
+inline std::vector<Result>& results() {
+  static std::vector<Result> collected;
+  return collected;
+}
+
+inline std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      escaped.push_back('\\');
+      escaped.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      escaped += buffer;
+    } else {
+      escaped.push_back(c);
+    }
+  }
+  return escaped;
+}
+
+// google-benchmark-shaped JSON: a context object plus one entry per
+// run in "benchmarks". Labels (SetLabel) are arbitrary strings, so
+// every emitted string is escaped.
+inline void write_json(std::FILE* file) {
+  std::fprintf(file,
+               "{\n  \"context\": {\n    \"library\": "
+               "\"popsnet-benchmark-shim\",\n    \"caches\": []\n  },\n"
+               "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results().size(); ++i) {
+    const Result& result = results()[i];
+    const std::string name = json_escape(result.name);
+    std::fprintf(file,
+                 "    {\n      \"name\": \"%s\",\n"
+                 "      \"run_name\": \"%s\",\n"
+                 "      \"run_type\": \"iteration\",\n"
+                 "      \"iterations\": %lld,\n"
+                 "      \"real_time\": %.4f,\n"
+                 "      \"cpu_time\": %.4f,\n"
+                 "      \"time_unit\": \"ns\"",
+                 name.c_str(), name.c_str(),
+                 static_cast<long long>(result.iterations),
+                 result.ns_per_iter, result.ns_per_iter);
+    if (result.items_per_second > 0) {
+      std::fprintf(file, ",\n      \"items_per_second\": %.4f",
+                   result.items_per_second);
+    }
+    if (!result.label.empty()) {
+      std::fprintf(file, ",\n      \"label\": \"%s\"",
+                   json_escape(result.label).c_str());
+    }
+    std::fprintf(file, "\n    }%s\n",
+                 i + 1 < results().size() ? "," : "");
+  }
+  std::fprintf(file, "  ]\n}\n");
+}
+
 class Benchmark {
  public:
   explicit Benchmark(Registration* registration)
@@ -142,12 +224,17 @@ inline void run_registration(const Registration& registration) {
     }
     const double ns_per_iter =
         seconds * 1e9 / static_cast<double>(iterations);
+    const double items_per_second =
+        state.items_processed() > 0 && seconds > 0
+            ? static_cast<double>(state.items_processed()) / seconds
+            : 0.0;
+    results().push_back(Result{name, iterations, ns_per_iter,
+                               items_per_second, state.label()});
+    if (console_json()) continue;
     std::printf("%-48s %12.1f ns %10lld iters", name.c_str(),
                 ns_per_iter, static_cast<long long>(iterations));
-    if (state.items_processed() > 0 && seconds > 0) {
-      std::printf("  %10.2f M items/s",
-                  static_cast<double>(state.items_processed()) /
-                      seconds / 1e6);
+    if (items_per_second > 0) {
+      std::printf("  %10.2f M items/s", items_per_second / 1e6);
     }
     if (!state.label().empty()) {
       std::printf("  %s", state.label().c_str());
@@ -174,9 +261,12 @@ inline void Initialize(int* argc, char** argv) {
   int kept = 1;
   for (int i = 1; i < *argc; ++i) {
     const char* arg = argv[i];
-    const char* prefix = "--benchmark_min_time=";
-    if (std::strncmp(arg, prefix, std::strlen(prefix)) == 0) {
-      const char* value = arg + std::strlen(prefix);
+    const char* min_time_prefix = "--benchmark_min_time=";
+    const char* format_prefix = "--benchmark_format=";
+    const char* out_prefix = "--benchmark_out=";
+    if (std::strncmp(arg, min_time_prefix,
+                     std::strlen(min_time_prefix)) == 0) {
+      const char* value = arg + std::strlen(min_time_prefix);
       char* suffix = nullptr;
       const double parsed = std::strtod(value, &suffix);
       if (suffix != nullptr && *suffix == 'x') {
@@ -187,8 +277,23 @@ inline void Initialize(int* argc, char** argv) {
       }
       continue;  // consumed
     }
+    if (std::strncmp(arg, format_prefix, std::strlen(format_prefix)) ==
+        0) {
+      internal::console_json() =
+          std::strcmp(arg + std::strlen(format_prefix), "json") == 0;
+      continue;  // consumed
+    }
+    // The '=' in the prefix keeps --benchmark_out_format from
+    // matching here; that flag falls through to accept-and-ignore.
+    if (std::strncmp(arg, out_prefix, std::strlen(out_prefix)) == 0) {
+      internal::out_path() = arg + std::strlen(out_prefix);
+      continue;  // consumed
+    }
     if (std::strncmp(arg, "--benchmark_", 12) == 0) {
-      continue;  // accept-and-ignore other benchmark flags
+      // Accept-and-ignore other benchmark flags
+      // (--benchmark_out_format only supports json, which is also the
+      // only value the real library writes for *_out files we use).
+      continue;
     }
     argv[kept++] = argv[i];
   }
@@ -203,11 +308,28 @@ inline bool ReportUnrecognizedArguments(int argc, char** argv) {
 }
 
 inline void RunSpecifiedBenchmarks() {
-  std::printf("%-48s %15s %16s\n", "Benchmark (shim)", "Time", "Iterations");
-  std::printf("%s\n", std::string(81, '-').c_str());
+  internal::results().clear();
+  if (!internal::console_json()) {
+    std::printf("%-48s %15s %16s\n", "Benchmark (shim)", "Time",
+                "Iterations");
+    std::printf("%s\n", std::string(81, '-').c_str());
+  }
   for (const internal::Registration& registration :
        internal::registry()) {
     internal::run_registration(registration);
+  }
+  if (internal::console_json()) {
+    internal::write_json(stdout);
+  }
+  if (!internal::out_path().empty()) {
+    std::FILE* file = std::fopen(internal::out_path().c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "could not open --benchmark_out file %s\n",
+                   internal::out_path().c_str());
+      std::exit(1);
+    }
+    internal::write_json(file);
+    std::fclose(file);
   }
 }
 

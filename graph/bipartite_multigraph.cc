@@ -15,6 +15,14 @@ int BipartiteMultigraph::max_degree() const {
   return degree;
 }
 
+std::size_t BipartiteMultigraph::scratch_capacity() const {
+  std::size_t total = edges_.capacity() + left_edges_.capacity() +
+                      right_edges_.capacity();
+  for (const auto& edges : left_edges_) total += edges.capacity();
+  for (const auto& edges : right_edges_) total += edges.capacity();
+  return total;
+}
+
 bool BipartiteMultigraph::is_regular() const {
   if (edge_count() == 0) {
     for (int l = 0; l < left_count(); ++l) {

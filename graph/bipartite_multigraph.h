@@ -25,6 +25,19 @@ class BipartiteMultigraph {
       : left_edges_(as_size(left_count)),
         right_edges_(as_size(right_count)) {}
 
+  /// Rebuilds the graph in place: drops every edge and resizes the
+  /// vertex sets, keeping all array capacities. A graph that is reset
+  /// to the same shape and refilled with the same number of edges does
+  /// not allocate — this is what lets the RoutingEngine reuse one
+  /// multigraph across permutations.
+  void reset(int left_count, int right_count) {
+    edges_.clear();
+    left_edges_.resize(as_size(left_count));
+    right_edges_.resize(as_size(right_count));
+    for (auto& edges : left_edges_) edges.clear();
+    for (auto& edges : right_edges_) edges.clear();
+  }
+
   /// Adds an edge and returns its id (ids are dense, in insertion
   /// order).
   int add_edge(int left, int right) {
@@ -64,6 +77,11 @@ class BipartiteMultigraph {
 
   /// Maximum degree over both sides (0 for an empty graph).
   int max_degree() const;
+
+  /// Total capacity of the edge and adjacency arrays, in elements —
+  /// the zero-allocation tests compare this across reset/refill
+  /// cycles.
+  std::size_t scratch_capacity() const;
 
   /// True when every left vertex and every right vertex has the same
   /// degree (vacuously true for the empty graph).

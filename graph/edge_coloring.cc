@@ -10,94 +10,6 @@ namespace pops {
 namespace {
 
 // ---------------------------------------------------------------------
-// alternating-path backend (constructive König proof).
-// ---------------------------------------------------------------------
-
-class AlternatingPathColorer {
- public:
-  AlternatingPathColorer(const BipartiteMultigraph& graph, int delta)
-      : graph_(graph),
-        delta_(delta),
-        color_(as_size(graph.edge_count()), -1),
-        left_slot_(as_size(graph.left_count()),
-                   std::vector<int>(as_size(delta), -1)),
-        right_slot_(as_size(graph.right_count()),
-                    std::vector<int>(as_size(delta), -1)) {}
-
-  EdgeColoring run() {
-    for (int e = 0; e < graph_.edge_count(); ++e) insert(e);
-    return EdgeColoring{std::move(color_), delta_};
-  }
-
- private:
-  int free_color_at(const std::vector<int>& slots) const {
-    for (int c = 0; c < delta_; ++c) {
-      if (slots[as_size(c)] < 0) return c;
-    }
-    POPS_CHECK(false, "no free color at a vertex with degree < Delta");
-    return -1;
-  }
-
-  void insert(int e) {
-    const int u = graph_.edge(e).left;
-    const int v = graph_.edge(e).right;
-    const int alpha = free_color_at(left_slot_[as_size(u)]);
-    const int beta = free_color_at(right_slot_[as_size(v)]);
-    if (alpha != beta && right_slot_[as_size(v)][as_size(alpha)] >= 0) {
-      flip_path(v, alpha, beta);
-    }
-    // alpha is now free at both endpoints: at u it always was, and at v
-    // either it already was or the flipped path freed it (the path
-    // cannot reach u — it would have to arrive there on an alpha edge,
-    // which u does not have, and parity rules out arriving on beta).
-    assign(e, u, v, alpha);
-  }
-
-  // Flips the maximal alpha/beta alternating path that starts at right
-  // vertex v with its alpha edge.
-  void flip_path(int v, int alpha, int beta) {
-    path_.clear();
-    bool on_right = true;
-    int vertex = v;
-    int want = alpha;
-    while (true) {
-      const int e = on_right ? right_slot_[as_size(vertex)][as_size(want)]
-                             : left_slot_[as_size(vertex)][as_size(want)];
-      if (e < 0) break;
-      path_.push_back(e);
-      vertex = on_right ? graph_.edge(e).left : graph_.edge(e).right;
-      on_right = !on_right;
-      want = want == alpha ? beta : alpha;
-    }
-    for (const int e : path_) {
-      const int c = color_[as_size(e)];
-      left_slot_[as_size(graph_.edge(e).left)][as_size(c)] = -1;
-      right_slot_[as_size(graph_.edge(e).right)][as_size(c)] = -1;
-    }
-    for (const int e : path_) {
-      const int c = color_[as_size(e)] == alpha ? beta : alpha;
-      assign(e, graph_.edge(e).left, graph_.edge(e).right, c);
-    }
-  }
-
-  void assign(int e, int u, int v, int c) {
-    POPS_CHECK(left_slot_[as_size(u)][as_size(c)] < 0 &&
-                   right_slot_[as_size(v)][as_size(c)] < 0,
-               "alternating-path: color slot already taken");
-    color_[as_size(e)] = c;
-    left_slot_[as_size(u)][as_size(c)] = e;
-    right_slot_[as_size(v)][as_size(c)] = e;
-  }
-
-  const BipartiteMultigraph& graph_;
-  int delta_;
-  std::vector<int> color_;
-  std::vector<std::vector<int>> left_slot_;
-  std::vector<std::vector<int>> right_slot_;
-  std::vector<int> path_;
-};
-
-// ---------------------------------------------------------------------
 // Regularization + divide-and-conquer backends.
 // ---------------------------------------------------------------------
 
@@ -217,18 +129,19 @@ void color_regular_recursive(const Subgraph& sub, int delta, int base,
       base + delta / 2, bottom_degree, master_color);
 }
 
-EdgeColoring color_via_splits(const BipartiteMultigraph& graph, int delta,
-                              int bottom_degree) {
+void color_via_splits(const BipartiteMultigraph& graph, int delta,
+                      int bottom_degree, EdgeColoring& out) {
   const BipartiteMultigraph regular = regularize(graph, delta);
   std::vector<int> padded_color(as_size(regular.edge_count()), -1);
   color_regular_recursive(full_subgraph(regular), delta, 0,
                           bottom_degree, padded_color);
   padded_color.resize(as_size(graph.edge_count()));
-  return EdgeColoring{std::move(padded_color), delta};
+  out.color.assign(padded_color.begin(), padded_color.end());
+  out.num_colors = delta;
 }
 
-EdgeColoring color_by_matching_peel(const BipartiteMultigraph& graph,
-                                    int delta) {
+void color_by_matching_peel(const BipartiteMultigraph& graph, int delta,
+                            EdgeColoring& out) {
   const BipartiteMultigraph regular = regularize(graph, delta);
   std::vector<int> padded_color(as_size(regular.edge_count()), -1);
   Subgraph remaining = full_subgraph(regular);
@@ -236,7 +149,8 @@ EdgeColoring color_by_matching_peel(const BipartiteMultigraph& graph,
     remaining = peel_perfect_matching(remaining, round, padded_color);
   }
   padded_color.resize(as_size(graph.edge_count()));
-  return EdgeColoring{std::move(padded_color), delta};
+  out.color.assign(padded_color.begin(), padded_color.end());
+  out.num_colors = delta;
 }
 
 }  // namespace
@@ -256,37 +170,137 @@ std::string to_string(ColoringAlgorithm algorithm) {
   return "";
 }
 
-EdgeColoring color_edges(const BipartiteMultigraph& graph,
-                         ColoringAlgorithm algorithm) {
+// ---------------------------------------------------------------------
+// EdgeColorer: alternating-path backend (constructive König proof) on
+// reusable flat scratch, plus the fair-distribution rebalancer.
+// ---------------------------------------------------------------------
+
+void EdgeColorer::color(const BipartiteMultigraph& graph,
+                        ColoringAlgorithm algorithm, EdgeColoring& out) {
   const int delta = graph.max_degree();
-  if (delta == 0) return EdgeColoring{{}, 0};
+  if (delta == 0) {
+    out.color.clear();
+    out.num_colors = 0;
+    return;
+  }
   switch (algorithm) {
     case ColoringAlgorithm::kAlternatingPath:
-      return AlternatingPathColorer(graph, delta).run();
+      color_alternating(graph, delta, out);
+      return;
     case ColoringAlgorithm::kEulerSplit:
-      return color_via_splits(graph, delta, /*bottom_degree=*/1);
+      color_via_splits(graph, delta, /*bottom_degree=*/1, out);
+      return;
     case ColoringAlgorithm::kMatchingPeel:
-      return color_by_matching_peel(graph, delta);
+      color_by_matching_peel(graph, delta, out);
+      return;
     case ColoringAlgorithm::kCircuitPeel:
-      return color_via_splits(graph, delta, /*bottom_degree=*/2);
+      color_via_splits(graph, delta, /*bottom_degree=*/2, out);
+      return;
   }
   POPS_CHECK(false, "unknown ColoringAlgorithm");
-  return EdgeColoring{};
 }
 
-EdgeColoring spread_colors(const BipartiteMultigraph& graph,
-                           const EdgeColoring& coloring,
-                           int num_classes) {
+void EdgeColorer::color_alternating(const BipartiteMultigraph& graph,
+                                    int delta, EdgeColoring& out) {
+  out.num_colors = delta;
+  out.color.assign(as_size(graph.edge_count()), -1);
+  left_slot_.assign(as_size(graph.left_count()) * as_size(delta), -1);
+  right_slot_.assign(as_size(graph.right_count()) * as_size(delta), -1);
+  // An alternating path visits each vertex at most once.
+  path_.reserve(as_size(graph.left_count() + graph.right_count()));
+  for (int e = 0; e < graph.edge_count(); ++e) {
+    insert_edge(graph, delta, e, out);
+  }
+}
+
+namespace {
+
+inline int free_color_in(const std::vector<int>& slots, int vertex,
+                         int delta) {
+  const std::size_t base = as_size(vertex) * as_size(delta);
+  for (int c = 0; c < delta; ++c) {
+    if (slots[base + as_size(c)] < 0) return c;
+  }
+  POPS_CHECK(false, "no free color at a vertex with degree < Delta");
+  return -1;
+}
+
+}  // namespace
+
+void EdgeColorer::insert_edge(const BipartiteMultigraph& graph,
+                              int delta, int e, EdgeColoring& out) {
+  const int u = graph.edge(e).left;
+  const int v = graph.edge(e).right;
+  const int alpha = free_color_in(left_slot_, u, delta);
+  const int beta = free_color_in(right_slot_, v, delta);
+  if (alpha != beta &&
+      right_slot_[as_size(v) * as_size(delta) + as_size(alpha)] >= 0) {
+    flip_path(graph, delta, v, alpha, beta, out);
+  }
+  // alpha is now free at both endpoints: at u it always was, and at v
+  // either it already was or the flipped path freed it (the path
+  // cannot reach u — it would have to arrive there on an alpha edge,
+  // which u does not have, and parity rules out arriving on beta).
+  assign_color(delta, e, u, v, alpha, out);
+}
+
+// Flips the maximal alpha/beta alternating path that starts at right
+// vertex v with its alpha edge.
+void EdgeColorer::flip_path(const BipartiteMultigraph& graph, int delta,
+                            int v, int alpha, int beta,
+                            EdgeColoring& out) {
+  path_.clear();
+  bool on_right = true;
+  int vertex = v;
+  int want = alpha;
+  while (true) {
+    const auto& slots = on_right ? right_slot_ : left_slot_;
+    const int e = slots[as_size(vertex) * as_size(delta) + as_size(want)];
+    if (e < 0) break;
+    path_.push_back(e);
+    vertex = on_right ? graph.edge(e).left : graph.edge(e).right;
+    on_right = !on_right;
+    want = want == alpha ? beta : alpha;
+  }
+  for (const int e : path_) {
+    const int c = out.color[as_size(e)];
+    left_slot_[as_size(graph.edge(e).left) * as_size(delta) +
+               as_size(c)] = -1;
+    right_slot_[as_size(graph.edge(e).right) * as_size(delta) +
+                as_size(c)] = -1;
+  }
+  for (const int e : path_) {
+    const int c = out.color[as_size(e)] == alpha ? beta : alpha;
+    assign_color(delta, e, graph.edge(e).left, graph.edge(e).right, c,
+                 out);
+  }
+}
+
+void EdgeColorer::assign_color(int delta, int e, int u, int v, int c,
+                               EdgeColoring& out) {
+  const std::size_t left_index = as_size(u) * as_size(delta) + as_size(c);
+  const std::size_t right_index =
+      as_size(v) * as_size(delta) + as_size(c);
+  POPS_CHECK(left_slot_[left_index] < 0 && right_slot_[right_index] < 0,
+             "alternating-path: color slot already taken");
+  out.color[as_size(e)] = c;
+  left_slot_[left_index] = e;
+  right_slot_[right_index] = e;
+}
+
+void EdgeColorer::spread(const BipartiteMultigraph& graph,
+                         int num_classes, EdgeColoring& coloring) {
   POPS_CHECK(num_classes >= std::max(1, coloring.num_colors),
              "spread_colors: fewer classes than existing colors");
-  EdgeColoring result{coloring.color, num_classes};
+  coloring.num_colors = num_classes;
   const int edge_count = graph.edge_count();
-  std::vector<int> sizes(as_size(num_classes), 0);
-  for (const int c : result.color) ++sizes[as_size(c)];
+  sizes_.assign(as_size(num_classes), 0);
+  for (const int c : coloring.color) ++sizes_[as_size(c)];
 
   const int vertex_count = graph.left_count() + graph.right_count();
-  std::vector<int> slot_a(as_size(vertex_count));
-  std::vector<int> slot_b(as_size(vertex_count));
+  slot_a_.resize(as_size(vertex_count));
+  slot_b_.resize(as_size(vertex_count));
+  spread_path_.reserve(as_size(edge_count));
 
   // Each pass moves one edge from a largest class to a smallest class
   // by flipping an alternating path, so the spread shrinks steadily;
@@ -296,21 +310,21 @@ EdgeColoring spread_colors(const BipartiteMultigraph& graph,
   for (long long iteration = 0;; ++iteration) {
     POPS_CHECK(iteration <= limit, "spread_colors failed to converge");
     const int a = static_cast<int>(
-        std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+        std::max_element(sizes_.begin(), sizes_.end()) - sizes_.begin());
     const int b = static_cast<int>(
-        std::min_element(sizes.begin(), sizes.end()) - sizes.begin());
-    if (sizes[as_size(a)] - sizes[as_size(b)] <= 1) break;
+        std::min_element(sizes_.begin(), sizes_.end()) - sizes_.begin());
+    if (sizes_[as_size(a)] - sizes_[as_size(b)] <= 1) break;
 
     // Build the a/b two-colored subgraph: at most one edge of each
     // class per vertex, so components are paths and even cycles.
-    std::fill(slot_a.begin(), slot_a.end(), -1);
-    std::fill(slot_b.begin(), slot_b.end(), -1);
+    std::fill(slot_a_.begin(), slot_a_.end(), -1);
+    std::fill(slot_b_.begin(), slot_b_.end(), -1);
     for (int e = 0; e < edge_count; ++e) {
-      const int c = result.color[as_size(e)];
+      const int c = coloring.color[as_size(e)];
       if (c != a && c != b) continue;
       const int u = graph.edge(e).left;
       const int v = graph.left_count() + graph.edge(e).right;
-      auto& slots = c == a ? slot_a : slot_b;
+      auto& slots = c == a ? slot_a_ : slot_b_;
       slots[as_size(u)] = e;
       slots[as_size(v)] = e;
     }
@@ -320,42 +334,66 @@ EdgeColoring spread_colors(const BipartiteMultigraph& graph,
     // so we can flip several such paths in one scan — up to gap/2 of
     // them, which leaves the pair balanced instead of paying a full
     // subgraph rebuild per single edge moved.
-    int flips_left = (sizes[as_size(a)] - sizes[as_size(b)]) / 2;
+    int flips_left = (sizes_[as_size(a)] - sizes_[as_size(b)]) / 2;
     bool flipped = false;
-    std::vector<bool> walked(as_size(edge_count), false);
+    walked_.assign(as_size(edge_count), 0);
     for (int start = 0; start < vertex_count && flips_left > 0;
          ++start) {
-      const bool has_a = slot_a[as_size(start)] >= 0;
-      const bool has_b = slot_b[as_size(start)] >= 0;
+      const bool has_a = slot_a_[as_size(start)] >= 0;
+      const bool has_b = slot_b_[as_size(start)] >= 0;
       if (has_a == has_b) continue;  // not a path endpoint
       if (!has_a) continue;  // paths with extra a-edges start on a
-      if (walked[as_size(slot_a[as_size(start)])]) continue;
+      if (walked_[as_size(slot_a_[as_size(start)])] != 0) continue;
       int vertex = start;
       int want_a = 1;
-      std::vector<int> path;
+      spread_path_.clear();
       while (true) {
-        const auto& slots = want_a ? slot_a : slot_b;
+        const auto& slots = want_a ? slot_a_ : slot_b_;
         const int e = slots[as_size(vertex)];
         if (e < 0) break;
-        if (!path.empty() && e == path.back()) break;
-        path.push_back(e);
-        walked[as_size(e)] = true;
+        if (!spread_path_.empty() && e == spread_path_.back()) break;
+        spread_path_.push_back(e);
+        walked_[as_size(e)] = 1;
         const int u = graph.edge(e).left;
         const int v = graph.left_count() + graph.edge(e).right;
         vertex = vertex == u ? v : u;
         want_a = 1 - want_a;
       }
-      if (path.size() % 2 == 0) continue;  // balanced path
-      for (const int e : path) {
-        result.color[as_size(e)] = result.color[as_size(e)] == a ? b : a;
+      if (spread_path_.size() % 2 == 0) continue;  // balanced path
+      for (const int e : spread_path_) {
+        coloring.color[as_size(e)] =
+            coloring.color[as_size(e)] == a ? b : a;
       }
-      sizes[as_size(a)] -= 1;
-      sizes[as_size(b)] += 1;
+      sizes_[as_size(a)] -= 1;
+      sizes_[as_size(b)] += 1;
       --flips_left;
       flipped = true;
     }
     POPS_CHECK(flipped, "spread_colors: no augmenting path found");
   }
+}
+
+std::size_t EdgeColorer::scratch_capacity() const {
+  return left_slot_.capacity() + right_slot_.capacity() +
+         path_.capacity() + sizes_.capacity() + slot_a_.capacity() +
+         slot_b_.capacity() + walked_.capacity() +
+         spread_path_.capacity();
+}
+
+EdgeColoring color_edges(const BipartiteMultigraph& graph,
+                         ColoringAlgorithm algorithm) {
+  EdgeColorer colorer;
+  EdgeColoring out;
+  colorer.color(graph, algorithm, out);
+  return out;
+}
+
+EdgeColoring spread_colors(const BipartiteMultigraph& graph,
+                           const EdgeColoring& coloring,
+                           int num_classes) {
+  EdgeColorer colorer;
+  EdgeColoring result = coloring;
+  colorer.spread(graph, num_classes, result);
   return result;
 }
 

@@ -48,8 +48,59 @@ struct EdgeColoring {
   int num_colors = 0;
 };
 
+/// Reusable colorer: owns all scratch for color() and spread(), so
+/// repeated colorings of same-shaped graphs perform no steady-state
+/// heap allocation (the RoutingEngine holds one per topology). Results
+/// are written into caller-provided EdgeColoring storage, whose
+/// capacity is likewise reused across calls.
+class EdgeColorer {
+ public:
+  /// Properly colors `graph` with max_degree colors into `out`
+  /// (out.color is resized in place). The alternating-path backend
+  /// runs entirely out of this colorer's flat scratch; the
+  /// divide-and-conquer backends still build transient subgraphs
+  /// internally.
+  void color(const BipartiteMultigraph& graph,
+             ColoringAlgorithm algorithm, EdgeColoring& out);
+
+  /// In-place fair distribution: rebalances `coloring` (a proper
+  /// coloring of `graph`) onto num_classes classes (num_classes >=
+  /// coloring.num_colors) so that class sizes differ by at most one,
+  /// using alternating-path swaps that preserve properness. When
+  /// num_classes divides the edge count, every class ends up with
+  /// exactly edge_count / num_classes edges.
+  void spread(const BipartiteMultigraph& graph, int num_classes,
+              EdgeColoring& coloring);
+
+  /// Capacity snapshot for the zero-allocation tests.
+  std::size_t scratch_capacity() const;
+
+ private:
+  void color_alternating(const BipartiteMultigraph& graph, int delta,
+                         EdgeColoring& out);
+  void insert_edge(const BipartiteMultigraph& graph, int delta, int e,
+                   EdgeColoring& out);
+  void flip_path(const BipartiteMultigraph& graph, int delta, int v,
+                 int alpha, int beta, EdgeColoring& out);
+  void assign_color(int delta, int e, int u, int v, int c,
+                    EdgeColoring& out);
+
+  // Alternating-path scratch. The slot arrays are vertex-major flat
+  // tables: slot[vertex * delta + color] is the edge with that color
+  // at that vertex, or -1.
+  std::vector<int> left_slot_;
+  std::vector<int> right_slot_;
+  std::vector<int> path_;
+  // spread() scratch.
+  std::vector<int> sizes_;
+  std::vector<int> slot_a_;
+  std::vector<int> slot_b_;
+  std::vector<char> walked_;
+  std::vector<int> spread_path_;
+};
+
 /// Properly colors the edges of any bipartite multigraph with
-/// max_degree colors.
+/// max_degree colors. Thin wrapper over a transient EdgeColorer.
 EdgeColoring color_edges(
     const BipartiteMultigraph& graph,
     ColoringAlgorithm algorithm = ColoringAlgorithm::kAlternatingPath);

@@ -1,0 +1,14 @@
+#include "pops/flat_plan.h"
+
+namespace pops {
+
+std::vector<SlotPlan> FlatSchedule::to_slot_plans() const {
+  std::vector<SlotPlan> slots(as_size(slot_count()));
+  for (int s = 0; s < slot_count(); ++s) {
+    const Span<const Transmission> range = slot(s);
+    slots[as_size(s)].transmissions.assign(range.begin(), range.end());
+  }
+  return slots;
+}
+
+}  // namespace pops

@@ -1,12 +1,31 @@
 #include "pops/network.h"
 
 #include <algorithm>
-#include <map>
 
 namespace pops {
+namespace {
+
+// Worst-case simultaneous occupancy of one processor buffer under
+// single-packet-per-processor traffic: its own packet (until sent), one
+// relayed packet in transit, and the finally delivered packet. Reserved
+// up front so steady-state execution never grows a buffer.
+constexpr std::size_t kSteadyBufferReserve = 4;
+
+}  // namespace
 
 Network::Network(const Topology& topo)
-    : topo_(topo), buffers_(as_size(topo.processor_count())) {}
+    : topo_(topo),
+      buffers_(as_size(topo.processor_count())),
+      source_stamp_(as_size(topo.processor_count()), 0),
+      coupler_stamp_(as_size(topo.coupler_count()), 0),
+      receiver_stamp_(as_size(topo.processor_count()), 0),
+      packet_of_source_(as_size(topo.processor_count()), -1),
+      source_of_coupler_(as_size(topo.coupler_count()), -1),
+      buffer_index_of_source_(as_size(topo.processor_count()), -1),
+      in_flight_(as_size(topo.processor_count())) {
+  for (auto& buffer : buffers_) buffer.reserve(kSteadyBufferReserve);
+  touched_sources_.reserve(as_size(topo.processor_count()));
+}
 
 void Network::reset() {
   for (auto& buffer : buffers_) buffer.clear();
@@ -44,14 +63,24 @@ bool Network::execute(const std::vector<SlotPlan>& slots) {
   return true;
 }
 
-bool Network::execute_slot(const SlotPlan& slot) {
+bool Network::execute(const FlatSchedule& schedule) {
+  for (int s = 0; s < schedule.slot_count(); ++s) {
+    if (!execute_slot(schedule.slot(s))) return false;
+  }
+  return true;
+}
+
+bool Network::execute_slot(Span<const Transmission> transmissions) {
   if (!ok()) return false;
   const long long slot_index = stats_.slots_executed;
   const int n = topo_.processor_count();
+  ++epoch_;
+  touched_sources_.clear();
+  long long busy_couplers = 0;
 
   // --- Validation pass: nothing is moved until the whole slot checks
   // out against the optical model. ---
-  for (const Transmission& t : slot.transmissions) {
+  for (const Transmission& t : transmissions) {
     if (t.source < 0 || t.source >= n) {
       return fail(str_cat("slot ", slot_index, ": source processor ",
                           t.source, " out of range"));
@@ -63,78 +92,81 @@ bool Network::execute_slot(const SlotPlan& slot) {
     }
   }
 
-  // packet id requested by each transmitting processor (one packet per
-  // processor per slot, possibly multicast onto several couplers).
-  std::map<int, int> packet_of_source;
-  // transmitter driving each coupler.
-  std::map<int, int> source_of_coupler;
-  std::map<int, int> receive_count;
-  for (const Transmission& t : slot.transmissions) {
+  for (const Transmission& t : transmissions) {
     const int src_group = topo_.group_of(t.source);
     const int dst_group = topo_.group_of(t.destination);
     const int coupler = topo_.coupler(dst_group, src_group);
 
-    const auto [source_it, new_source] =
-        packet_of_source.emplace(t.source, t.packet);
-    if (!new_source && source_it->second != t.packet) {
+    // One packet per transmitting processor (multicast onto several
+    // couplers is the same packet on each).
+    if (source_stamp_[as_size(t.source)] != epoch_) {
+      source_stamp_[as_size(t.source)] = epoch_;
+      packet_of_source_[as_size(t.source)] = t.packet;
+      touched_sources_.push_back(t.source);
+    } else if (packet_of_source_[as_size(t.source)] != t.packet) {
       return fail(str_cat("slot ", slot_index, ": processor ", t.source,
                           " transmits two different packets (",
-                          source_it->second, " and ", t.packet, ")"));
+                          packet_of_source_[as_size(t.source)], " and ",
+                          t.packet, ")"));
     }
-    const auto [coupler_it, new_coupler] =
-        source_of_coupler.emplace(coupler, t.source);
-    if (!new_coupler && coupler_it->second != t.source) {
+    // One transmitter per coupler.
+    if (coupler_stamp_[as_size(coupler)] != epoch_) {
+      coupler_stamp_[as_size(coupler)] = epoch_;
+      source_of_coupler_[as_size(coupler)] = t.source;
+      ++busy_couplers;
+    } else if (source_of_coupler_[as_size(coupler)] != t.source) {
       return fail(str_cat(
           "slot ", slot_index, ": coupler c(", dst_group, ",", src_group,
-          ") oversubscribed by processors ", coupler_it->second, " and ",
-          t.source));
+          ") oversubscribed by processors ",
+          source_of_coupler_[as_size(coupler)], " and ", t.source));
     }
-    if (++receive_count[t.destination] > 1) {
+    // One tuned coupler per receiver.
+    if (receiver_stamp_[as_size(t.destination)] == epoch_) {
       return fail(str_cat("slot ", slot_index, ": processor ",
                           t.destination,
                           " tunes to more than one coupler"));
     }
+    receiver_stamp_[as_size(t.destination)] = epoch_;
   }
 
   // Resolve each transmitting processor's packet in its buffer.
-  std::map<int, std::size_t> buffer_slot_of_source;
-  for (auto& [source, packet_id] : packet_of_source) {
+  for (const int source : touched_sources_) {
     const std::vector<Packet>& buffer = buffers_[as_size(source)];
+    const int packet_id = packet_of_source_[as_size(source)];
     if (packet_id == -1) {
       if (buffer.size() != 1) {
         return fail(str_cat("slot ", slot_index, ": processor ", source,
                             " asked to send 'any' packet but holds ",
                             buffer.size()));
       }
-      buffer_slot_of_source[source] = 0;
+      buffer_index_of_source_[as_size(source)] = 0;
       continue;
     }
-    std::size_t found = buffer.size();
-    for (std::size_t i = 0; i < buffer.size(); ++i) {
-      if (buffer[i].id == packet_id) {
+    int found = as_int(buffer.size());
+    for (int i = 0; i < as_int(buffer.size()); ++i) {
+      if (buffer[as_size(i)].id == packet_id) {
         found = i;
         break;
       }
     }
-    if (found == buffer.size()) {
+    if (found == as_int(buffer.size())) {
       return fail(str_cat("slot ", slot_index, ": processor ", source,
                           " does not hold packet ", packet_id));
     }
-    buffer_slot_of_source[source] = found;
+    buffer_index_of_source_[as_size(source)] = found;
   }
 
   // --- Commit pass: withdraw every transmitted packet, then deliver
   // one copy per tuned receiver. ---
-  std::map<int, Packet> in_flight;
-  for (const auto& [source, buffer_index] : buffer_slot_of_source) {
+  for (const int source : touched_sources_) {
     std::vector<Packet>& buffer = buffers_[as_size(source)];
-    in_flight.emplace(source, buffer[buffer_index]);
-    buffer.erase(buffer.begin() +
-                 static_cast<std::ptrdiff_t>(buffer_index));
+    const int index = buffer_index_of_source_[as_size(source)];
+    in_flight_[as_size(source)] = buffer[as_size(index)];
+    buffer.erase(buffer.begin() + index);
     --packet_count_;
   }
-  for (const Transmission& t : slot.transmissions) {
-    Packet copy = in_flight.at(t.source);
+  for (const Transmission& t : transmissions) {
+    Packet copy = in_flight_[as_size(t.source)];
     copy.hops += 1;
     buffers_[as_size(t.destination)].push_back(copy);
     ++packet_count_;
@@ -142,8 +174,7 @@ bool Network::execute_slot(const SlotPlan& slot) {
   }
 
   stats_.slots_executed += 1;
-  stats_.coupler_slots_busy +=
-      static_cast<long long>(source_of_coupler.size());
+  stats_.coupler_slots_busy += busy_couplers;
   stats_.coupler_slot_capacity += topo_.coupler_count();
   return true;
 }
@@ -155,6 +186,17 @@ bool Network::all_delivered() const {
     }
   }
   return true;
+}
+
+std::size_t Network::scratch_capacity() const {
+  std::size_t total =
+      buffers_.capacity() + source_stamp_.capacity() +
+      coupler_stamp_.capacity() + receiver_stamp_.capacity() +
+      packet_of_source_.capacity() + source_of_coupler_.capacity() +
+      buffer_index_of_source_.capacity() + in_flight_.capacity() +
+      touched_sources_.capacity();
+  for (const auto& buffer : buffers_) total += buffer.capacity();
+  return total;
 }
 
 bool Network::fail(const std::string& message) {

@@ -15,15 +15,21 @@
 // The Network class executes schedules under exactly these rules and
 // refuses (with a recorded failure string) anything that violates
 // them. Every number the benches print comes from a schedule that went
-// through this simulator.
+// through this simulator. Schedules arrive either in the legacy
+// vector<SlotPlan> layout or as FlatSchedule slot spans; all slot
+// bookkeeping lives in stamped scratch arrays owned by the Network, so
+// executing a slot performs no heap allocation once the per-processor
+// buffers are warm.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "perm/permutation.h"
+#include "pops/flat_plan.h"
 #include "support/check.h"
 #include "support/format.h"
+#include "support/span.h"
 
 namespace pops {
 
@@ -59,6 +65,10 @@ class Topology {
   }
   /// Dense id of coupler c(dst_group, src_group).
   int coupler(int dst_group, int src_group) const {
+    POPS_CHECK(dst_group >= 0 && dst_group < g_,
+               "coupler: destination group out of range");
+    POPS_CHECK(src_group >= 0 && src_group < g_,
+               "coupler: source group out of range");
     return dst_group * g_ + src_group;
   }
 
@@ -78,20 +88,6 @@ struct Packet {
   int destination;  // processor that must finally receive it
   int size;         // payload size in flits (bookkeeping only)
   int hops;         // slots this packet has traveled so far
-};
-
-/// One optical transmission: `source` drives the coupler
-/// c(group(destination), group(source)) with packet `packet`, and
-/// `destination` tunes its receiver to that coupler.
-struct Transmission {
-  int source;
-  int destination;
-  int packet;
-};
-
-/// All transmissions of one time slot.
-struct SlotPlan {
-  std::vector<Transmission> transmissions;
 };
 
 struct NetworkStats {
@@ -127,7 +123,11 @@ class Network {
   /// failure) as soon as a slot violates the model; later slots are
   /// not executed.
   bool execute(const std::vector<SlotPlan>& slots);
-  bool execute_slot(const SlotPlan& slot);
+  bool execute(const FlatSchedule& schedule);
+  bool execute_slot(const SlotPlan& slot) {
+    return execute_slot(Span<const Transmission>(slot.transmissions));
+  }
+  bool execute_slot(Span<const Transmission> transmissions);
 
   /// True when every loaded packet sits at its destination.
   bool all_delivered() const;
@@ -143,6 +143,11 @@ class Network {
   }
   int packet_count() const { return packet_count_; }
 
+  /// Total capacity of the packet buffers and slot scratch arenas, in
+  /// elements — compared across executions by the zero-allocation
+  /// tests.
+  std::size_t scratch_capacity() const;
+
  private:
   bool fail(const std::string& message);
 
@@ -151,6 +156,19 @@ class Network {
   int packet_count_ = 0;
   NetworkStats stats_;
   std::string failure_;
+
+  // Per-slot scratch arenas. An entry is valid only when its stamp
+  // equals epoch_ (bumped once per execute_slot), so no clearing pass
+  // over the n + g^2 arrays is needed between slots.
+  long long epoch_ = 0;
+  std::vector<long long> source_stamp_;    // per processor
+  std::vector<long long> coupler_stamp_;   // per coupler
+  std::vector<long long> receiver_stamp_;  // per processor
+  std::vector<int> packet_of_source_;      // per processor
+  std::vector<int> source_of_coupler_;     // per coupler
+  std::vector<int> buffer_index_of_source_;  // per processor
+  std::vector<Packet> in_flight_;          // per processor
+  std::vector<int> touched_sources_;       // distinct senders, in order
 };
 
 }  // namespace pops

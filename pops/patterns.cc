@@ -1,0 +1,94 @@
+#include "pops/patterns.h"
+
+#include <vector>
+
+namespace pops {
+namespace {
+
+Permutation group_reversal(const Topology& topo) {
+  const int n = topo.processor_count();
+  std::vector<int> images(as_size(n));
+  for (int p = 0; p < n; ++p) {
+    images[as_size(p)] = topo.processor(
+        topo.group_count() - 1 - topo.group_of(p), topo.index_in_group(p));
+  }
+  return Permutation(std::move(images));
+}
+
+// Out-shuffle riffle: interleave the first ceil(n/2) processors with
+// the rest (0 stays first; for odd n the middle element maps last).
+// This is the classic shuffle-exchange round generalized to any n.
+Permutation perfect_shuffle(const Topology& topo) {
+  const int n = topo.processor_count();
+  const int half = (n + 1) / 2;
+  std::vector<int> images(as_size(n));
+  for (int p = 0; p < n; ++p) {
+    images[as_size(p)] = p < half ? 2 * p : 2 * (p - half) + 1;
+  }
+  return Permutation(std::move(images));
+}
+
+// Matrix transpose of the g x d processor grid: (group, index) ->
+// index * g + group, i.e. the new group is the old in-group index.
+// Self-inverse exactly when d == g.
+Permutation transpose(const Topology& topo) {
+  const int n = topo.processor_count();
+  std::vector<int> images(as_size(n));
+  for (int p = 0; p < n; ++p) {
+    images[as_size(p)] =
+        topo.index_in_group(p) * topo.group_count() + topo.group_of(p);
+  }
+  return Permutation(std::move(images));
+}
+
+}  // namespace
+
+std::string to_string(TrafficPattern pattern) {
+  switch (pattern) {
+    case TrafficPattern::kIdentity:
+      return "identity";
+    case TrafficPattern::kGroupReversal:
+      return "group-reversal";
+    case TrafficPattern::kPerfectShuffle:
+      return "perfect-shuffle";
+    case TrafficPattern::kTranspose:
+      return "transpose";
+    case TrafficPattern::kSeededRandom:
+      return "seeded-random";
+  }
+  POPS_CHECK(false, "unknown TrafficPattern");
+  return "";
+}
+
+Permutation make_pattern(const Topology& topo, TrafficPattern pattern,
+                         std::uint64_t seed) {
+  switch (pattern) {
+    case TrafficPattern::kIdentity:
+      return Permutation::identity(topo.processor_count());
+    case TrafficPattern::kGroupReversal:
+      return group_reversal(topo);
+    case TrafficPattern::kPerfectShuffle:
+      return perfect_shuffle(topo);
+    case TrafficPattern::kTranspose:
+      return transpose(topo);
+    case TrafficPattern::kSeededRandom: {
+      Rng rng(seed);
+      return Permutation::random(topo.processor_count(), rng);
+    }
+  }
+  POPS_CHECK(false, "unknown TrafficPattern");
+  return Permutation::identity(1);
+}
+
+SlotPlan one_to_all(const Topology& topo, int source) {
+  POPS_CHECK(source >= 0 && source < topo.processor_count(),
+             "one_to_all: source out of range");
+  SlotPlan slot;
+  slot.transmissions.reserve(as_size(topo.processor_count()));
+  for (int p = 0; p < topo.processor_count(); ++p) {
+    slot.transmissions.push_back(Transmission{source, p, -1});
+  }
+  return slot;
+}
+
+}  // namespace pops

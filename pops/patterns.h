@@ -1,0 +1,50 @@
+// Traffic-pattern generators for POPS(d, g) scenarios.
+//
+// The benches and tests sweep structured permutation traffic beyond
+// the adversarial families in perm/families.h: patterns here model the
+// communication rounds of real parallel workloads (matrix transpose,
+// FFT-style perfect shuffle, group reversal) plus seeded random
+// traffic, all parameterized by the topology so every generator yields
+// a valid permutation of its n = d * g processors. one_to_all() builds
+// the canonical optical-multicast slot: one transmitter driving every
+// coupler of its source-group column at once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "perm/permutation.h"
+#include "pops/network.h"
+
+namespace pops {
+
+enum class TrafficPattern {
+  kIdentity = 0,        // i -> i: every packet is already home
+  kGroupReversal = 1,   // (group, index) -> (g - 1 - group, index)
+  kPerfectShuffle = 2,  // riffle interleave of the two halves
+  kTranspose = 3,       // (group, index) -> processor index * g + group
+  kSeededRandom = 4,    // Permutation::random from an explicit seed
+};
+
+inline constexpr TrafficPattern kAllTrafficPatterns[] = {
+    TrafficPattern::kIdentity,
+    TrafficPattern::kGroupReversal,
+    TrafficPattern::kPerfectShuffle,
+    TrafficPattern::kTranspose,
+    TrafficPattern::kSeededRandom,
+};
+
+std::string to_string(TrafficPattern pattern);
+
+/// Builds the pattern's permutation on topo's processors. `seed` is
+/// only consumed by kSeededRandom (same seed, same permutation).
+Permutation make_pattern(const Topology& topo, TrafficPattern pattern,
+                         std::uint64_t seed = 0);
+
+/// The canonical optical multicast: `source` drives every coupler
+/// c(i, group(source)) with its single buffered packet (packet id -1 =
+/// "any"), and every processor — including `source` itself — tunes to
+/// the coupler of its own group. One slot, n deliveries.
+SlotPlan one_to_all(const Topology& topo, int source);
+
+}  // namespace pops

@@ -1,42 +1,18 @@
 #include "routing/direct_router.h"
 
-#include <algorithm>
+#include "routing/engine.h"
 
 namespace pops {
 
+// Compatibility wrapper: the greedy coupler-queue construction lives
+// in RoutingEngine::route_direct; this copies the flat schedule into
+// the legacy nested-vector plan.
 DirectPlan route_direct(const Topology& topo, const Permutation& pi) {
-  POPS_CHECK(pi.size() == topo.processor_count(),
-             "route_direct: permutation does not fit the topology");
-
-  // Queue the packets per coupler. Sources are enumerated in order, so
-  // each queue lists its packets by source id.
-  std::vector<std::vector<int>> queue_of_coupler(
-      as_size(topo.coupler_count()));
-  for (int source = 0; source < topo.processor_count(); ++source) {
-    const int coupler = topo.coupler(topo.group_of(pi(source)),
-                                     topo.group_of(source));
-    queue_of_coupler[as_size(coupler)].push_back(source);
-  }
-
+  RoutingEngine engine(topo);
+  const FlatSchedule& flat = engine.route_direct(pi);
   DirectPlan plan;
-  for (const auto& queue : queue_of_coupler) {
-    plan.max_demand = std::max(plan.max_demand, as_int(queue.size()));
-  }
-
-  // Slot t drains the t-th packet of every non-empty queue. Distinct
-  // couplers per slot by construction; distinct transmitters and
-  // receivers because pi is a permutation and each source appears in
-  // exactly one queue position.
-  for (int slot = 0; slot < plan.max_demand; ++slot) {
-    SlotPlan slot_plan;
-    for (const auto& queue : queue_of_coupler) {
-      if (as_size(slot) >= queue.size()) continue;
-      const int source = queue[as_size(slot)];
-      slot_plan.transmissions.push_back(
-          Transmission{source, pi(source), source});
-    }
-    plan.slots.push_back(std::move(slot_plan));
-  }
+  plan.slots = flat.to_slot_plans();
+  plan.max_demand = engine.direct_max_demand();
   return plan;
 }
 

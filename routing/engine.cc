@@ -1,0 +1,232 @@
+#include "routing/engine.h"
+
+#include <algorithm>
+
+namespace pops {
+
+std::string to_string(RouteStrategy strategy) {
+  switch (strategy) {
+    case RouteStrategy::kDirect:
+      return "direct";
+    case RouteStrategy::kTheorem2:
+      return "theorem2";
+  }
+  POPS_CHECK(false, "to_string: unknown RouteStrategy");
+  return "";
+}
+
+RoutingEngine::RoutingEngine(const Topology& topo,
+                             const RouterOptions& options)
+    : topo_(topo),
+      options_(options),
+      h_(topo.g(), topo.g()),
+      h_q_(topo.g(), topo.g()) {
+  const int n = topo_.processor_count();
+  // Pre-size everything whose final size is known from (d, g) alone,
+  // so even the first route call grows as little as possible and the
+  // steady state cannot grow at all.
+  intermediate_of_.reserve(as_size(n));
+  source_of_edge_.reserve(as_size(n));
+  used_of_group_.reserve(as_size(topo_.g()));
+  theorem2_schedule_.reserve(2 * n, theorem2_slots(topo_));
+  // Direct schedules: n transmissions over at most d slots.
+  direct_schedule_.reserve(n, topo_.d() + 1);
+  coupler_count_.reserve(as_size(topo_.coupler_count()));
+  coupler_offset_.reserve(as_size(topo_.coupler_count() + 1));
+  coupler_queue_.reserve(as_size(n));
+}
+
+const FlatSchedule& RoutingEngine::route_permutation(
+    const Permutation& pi) {
+  build_theorem2(pi);
+  return theorem2_schedule_;
+}
+
+void RoutingEngine::build_theorem2(const Permutation& pi) {
+  POPS_CHECK(pi.size() == topo_.processor_count(),
+             "route_permutation: permutation does not fit the topology");
+  const int d = topo_.d();
+  const int g = topo_.g();
+  const int n = topo_.processor_count();
+  theorem2_schedule_.clear();
+  intermediate_of_.assign(as_size(n), -1);
+
+  if (d == 1) {
+    // One slot: processor == group, so sources and destinations of the
+    // n transmissions are pairwise distinct and every coupler carries
+    // at most one packet.
+    theorem2_schedule_.begin_slot();
+    for (int source = 0; source < n; ++source) {
+      theorem2_schedule_.push(Transmission{source, pi(source), source});
+      intermediate_of_[as_size(source)] = source;
+    }
+    return;
+  }
+
+  // H: one edge per packet, source group -> destination group. Edge id
+  // == source processor id because sources are added in order and each
+  // holds exactly one packet.
+  h_.reset(g, g);
+  for (int source = 0; source < n; ++source) {
+    h_.add_edge(topo_.group_of(source), topo_.group_of(pi(source)));
+  }
+  colorer_.color(h_, options_.coloring, coloring_);
+  POPS_CHECK(coloring_.num_colors == d,
+             "Theorem 2: H must be d-edge-colorable");
+
+  const int batches = (d + g - 1) / g;
+  for (int q = 0; q < batches; ++q) {
+    const int color_lo = q * g;
+    const int color_hi = std::min((q + 1) * g, d);
+
+    // H_q: the packets whose H-color falls in this batch. Every group
+    // has exactly one edge per color, so H_q is (color_hi - color_lo)-
+    // regular with degree <= g.
+    h_q_.reset(g, g);
+    source_of_edge_.clear();
+    for (int source = 0; source < n; ++source) {
+      const int c = coloring_.color[as_size(source)];
+      if (c < color_lo || c >= color_hi) continue;
+      h_q_.add_edge(topo_.group_of(source), topo_.group_of(pi(source)));
+      source_of_edge_.push_back(source);
+    }
+
+    // Fair distribution: a proper coloring of H_q balanced onto g
+    // classes. Properness gives the two distinctness properties; the
+    // balanced size (exactly Delta_q <= d per class) is the receiver
+    // capacity of an intermediate group.
+    colorer_.color(h_q_, options_.coloring, fair_);
+    colorer_.spread(h_q_, g, fair_);
+
+    used_of_group_.assign(as_size(g), 0);
+    theorem2_schedule_.begin_slot();  // distribute: slot 2q
+    for (int e = 0; e < h_q_.edge_count(); ++e) {
+      const int source = source_of_edge_[as_size(e)];
+      const int mid_group = fair_.color[as_size(e)];
+      const int mid_index = used_of_group_[as_size(mid_group)]++;
+      POPS_CHECK(mid_index < d,
+                 "fair distribution overfilled an intermediate group");
+      const int mid = topo_.processor(mid_group, mid_index);
+      intermediate_of_[as_size(source)] = mid;
+      theorem2_schedule_.push(Transmission{source, mid, source});
+    }
+    theorem2_schedule_.begin_slot();  // deliver: slot 2q + 1
+    for (int e = 0; e < h_q_.edge_count(); ++e) {
+      const int source = source_of_edge_[as_size(e)];
+      theorem2_schedule_.push(Transmission{
+          intermediate_of_[as_size(source)], pi(source), source});
+    }
+  }
+
+  POPS_CHECK(theorem2_schedule_.slot_count() == theorem2_slots(topo_),
+             "Theorem 2 schedule has the wrong number of slots");
+}
+
+const FlatSchedule& RoutingEngine::route_direct(const Permutation& pi) {
+  build_direct(pi);
+  return direct_schedule_;
+}
+
+void RoutingEngine::build_direct(const Permutation& pi) {
+  POPS_CHECK(pi.size() == topo_.processor_count(),
+             "route_direct: permutation does not fit the topology");
+  const int n = topo_.processor_count();
+  const int couplers = topo_.coupler_count();
+
+  // Bucket the packets per coupler (CSR). Sources are enumerated in
+  // order, so each bucket lists its packets by source id.
+  coupler_count_.assign(as_size(couplers), 0);
+  direct_max_demand_ = 0;
+  for (int source = 0; source < n; ++source) {
+    const int coupler = topo_.coupler(topo_.group_of(pi(source)),
+                                      topo_.group_of(source));
+    direct_max_demand_ =
+        std::max(direct_max_demand_, ++coupler_count_[as_size(coupler)]);
+  }
+  coupler_offset_.assign(as_size(couplers + 1), 0);
+  for (int c = 0; c < couplers; ++c) {
+    coupler_offset_[as_size(c + 1)] =
+        coupler_offset_[as_size(c)] + coupler_count_[as_size(c)];
+  }
+  coupler_queue_.resize(as_size(n));
+  // Reuse coupler_count_ as the per-coupler fill cursor.
+  for (int c = 0; c < couplers; ++c) {
+    coupler_count_[as_size(c)] = coupler_offset_[as_size(c)];
+  }
+  for (int source = 0; source < n; ++source) {
+    const int coupler = topo_.coupler(topo_.group_of(pi(source)),
+                                      topo_.group_of(source));
+    coupler_queue_[as_size(coupler_count_[as_size(coupler)]++)] = source;
+  }
+
+  // Slot t drains the t-th packet of every non-empty bucket. Distinct
+  // couplers per slot by construction; distinct transmitters and
+  // receivers because pi is a permutation and each source appears in
+  // exactly one bucket position.
+  direct_schedule_.clear();
+  for (int slot = 0; slot < direct_max_demand_; ++slot) {
+    direct_schedule_.begin_slot();
+    for (int c = 0; c < couplers; ++c) {
+      const int begin = coupler_offset_[as_size(c)];
+      const int end = coupler_offset_[as_size(c + 1)];
+      if (end - begin <= slot) continue;
+      const int source = coupler_queue_[as_size(begin + slot)];
+      direct_schedule_.push(Transmission{source, pi(source), source});
+    }
+  }
+}
+
+const FlatSchedule& RoutingEngine::route_best(const Permutation& pi) {
+  build_direct(pi);
+  POPS_CHECK(delivers(direct_schedule_, pi),
+             str_cat("best_route: direct candidate failed verification: ",
+                     verification_failure()));
+  build_theorem2(pi);
+  POPS_CHECK(
+      delivers(theorem2_schedule_, pi),
+      str_cat("best_route: Theorem 2 candidate failed verification: ",
+              verification_failure()));
+  // Direct wins ties: same length, one hop per packet and no relay
+  // buffering.
+  if (direct_schedule_.slot_count() <=
+      theorem2_schedule_.slot_count()) {
+    best_strategy_ = RouteStrategy::kDirect;
+    return direct_schedule_;
+  }
+  best_strategy_ = RouteStrategy::kTheorem2;
+  return theorem2_schedule_;
+}
+
+bool RoutingEngine::delivers(const FlatSchedule& schedule,
+                             const Permutation& pi) {
+  if (!net_.has_value()) net_.emplace(topo_);
+  net_->reset();
+  net_->load_permutation_traffic(pi);
+  return net_->execute(schedule) && net_->all_delivered();
+}
+
+std::string RoutingEngine::verification_failure() const {
+  if (!net_.has_value()) return "verification never ran";
+  return net_->failure().empty()
+             ? "schedule executed but left packets undelivered"
+             : net_->failure();
+}
+
+ScratchFootprint RoutingEngine::scratch_footprint() const {
+  ScratchFootprint footprint;
+  footprint.units =
+      h_.scratch_capacity() + h_q_.scratch_capacity() +
+      colorer_.scratch_capacity() + coloring_.color.capacity() +
+      fair_.color.capacity() + source_of_edge_.capacity() +
+      used_of_group_.capacity() + intermediate_of_.capacity() +
+      theorem2_schedule_.transmission_capacity() +
+      theorem2_schedule_.offset_capacity() +
+      coupler_count_.capacity() + coupler_offset_.capacity() +
+      coupler_queue_.capacity() +
+      direct_schedule_.transmission_capacity() +
+      direct_schedule_.offset_capacity() +
+      (net_.has_value() ? net_->scratch_capacity() : 0);
+  return footprint;
+}
+
+}  // namespace pops

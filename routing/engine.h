@@ -1,0 +1,139 @@
+// RoutingEngine: all routing strategies for one fixed Topology with
+// zero steady-state heap allocation.
+//
+// Mei & Rizzi's Theorem 2 construction is oblivious and shape-static
+// for fixed (d, g): H is always d-regular on g + g vertices with
+// exactly n = d * g edges, every batch multigraph H_q has exactly
+// g * batch_width edges, and the schedule always has
+// theorem2_slots(topo) slots of n total transmissions per slot pair.
+// The engine therefore owns every intermediate object — the packet
+// multigraphs, the edge colorings, the fair-distribution scratch, the
+// coupler queues of the direct router, the verification Network of the
+// portfolio, and the emitted FlatSchedules — and rebuilds them in
+// place per permutation. With the default alternating-path coloring
+// backend, routing performs no heap allocation at all after one
+// warm-up call per strategy (asserted by tests that compare
+// scratch_footprint() across calls); the divide-and-conquer backends
+// still build transient subgraphs inside EdgeColorer::color, so the
+// zero-allocation contract is scoped to the default.
+//
+// The free functions route_permutation / route_direct / best_route are
+// thin wrappers that construct a transient engine and copy the flat
+// result into the legacy nested-vector plan types, so no caller
+// breaks; bulk callers hold a RoutingEngine and consume FlatSchedule
+// spans directly.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "graph/bipartite_multigraph.h"
+#include "graph/edge_coloring.h"
+#include "perm/permutation.h"
+#include "pops/flat_plan.h"
+#include "pops/network.h"
+#include "routing/router.h"
+
+namespace pops {
+
+enum class RouteStrategy {
+  kDirect = 0,
+  kTheorem2 = 1,
+};
+
+std::string to_string(RouteStrategy strategy);
+
+/// Aggregate capacity of every scratch arena the engine owns. Two
+/// equal footprints around a route_* call mean the call did not grow
+/// (= reallocate) any engine-owned storage.
+struct ScratchFootprint {
+  std::size_t units = 0;
+};
+
+inline bool operator==(const ScratchFootprint& a,
+                       const ScratchFootprint& b) {
+  return a.units == b.units;
+}
+inline bool operator!=(const ScratchFootprint& a,
+                       const ScratchFootprint& b) {
+  return !(a == b);
+}
+
+class RoutingEngine {
+ public:
+  explicit RoutingEngine(const Topology& topo,
+                         const RouterOptions& options = {});
+
+  const Topology& topology() const { return topo_; }
+  const RouterOptions& options() const { return options_; }
+
+  /// Theorem 2 schedule for pi: exactly theorem2_slots(topology())
+  /// slots. The returned reference (and intermediate_of()) stays valid
+  /// until the next route_* call on this engine.
+  const FlatSchedule& route_permutation(const Permutation& pi);
+
+  /// Intermediate processor of each source's packet in the last
+  /// route_permutation schedule (the source itself when the packet was
+  /// routed directly, as in the d == 1 case).
+  Span<const int> intermediate_of() const { return intermediate_of_; }
+
+  /// Greedy direct (no-intermediate) schedule: exactly max-demand
+  /// slots, where max demand is the largest number of packets sharing
+  /// one coupler.
+  const FlatSchedule& route_direct(const Permutation& pi);
+  int direct_max_demand() const { return direct_max_demand_; }
+
+  /// Portfolio: routes pi with both strategies, executes both
+  /// schedules on the engine's internal strict simulator (aborting on
+  /// any violation — the engine never hands out an unverified
+  /// portfolio plan), and returns the shorter one. Ties go to direct.
+  const FlatSchedule& route_best(const Permutation& pi);
+  RouteStrategy best_strategy() const { return best_strategy_; }
+  int direct_slot_count() const { return direct_schedule_.slot_count(); }
+  int theorem2_slot_count() const {
+    return theorem2_schedule_.slot_count();
+  }
+
+  ScratchFootprint scratch_footprint() const;
+
+ private:
+  void build_theorem2(const Permutation& pi);
+  void build_direct(const Permutation& pi);
+  /// Executes `schedule` on the internal simulator under permutation
+  /// traffic pi; true iff every packet was delivered. Allocation-free
+  /// once the simulator is warm.
+  bool delivers(const FlatSchedule& schedule, const Permutation& pi);
+  /// Why the last delivers() returned false, for abort messages.
+  std::string verification_failure() const;
+
+  Topology topo_;
+  RouterOptions options_;
+
+  // --- Theorem 2 scratch ---
+  BipartiteMultigraph h_;    // the packet multigraph H (g x g)
+  BipartiteMultigraph h_q_;  // one batch H_q (g x g)
+  EdgeColorer colorer_;
+  EdgeColoring coloring_;  // d-coloring of H
+  EdgeColoring fair_;      // fair distribution of one batch
+  std::vector<int> source_of_edge_;  // H_q edge id -> source processor
+  std::vector<int> used_of_group_;   // intermediates taken per group
+  std::vector<int> intermediate_of_;
+  FlatSchedule theorem2_schedule_;
+
+  // --- Direct-router scratch (CSR coupler queues) ---
+  std::vector<int> coupler_count_;   // packets per coupler
+  std::vector<int> coupler_offset_;  // prefix sums, coupler_count()+1
+  std::vector<int> coupler_queue_;   // sources bucketed by coupler
+  int direct_max_demand_ = 0;
+  FlatSchedule direct_schedule_;
+
+  // --- Portfolio scratch ---
+  // Constructed on the first route_best call: the simulator's
+  // per-processor buffers and stamp arrays are the engine's largest
+  // arena, and the theorem2/direct paths (and thus every legacy
+  // wrapper call) never touch them.
+  std::optional<Network> net_;
+  RouteStrategy best_strategy_ = RouteStrategy::kDirect;
+};
+
+}  // namespace pops

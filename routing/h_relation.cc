@@ -1,7 +1,10 @@
 #include "routing/h_relation.h"
 
+#include <algorithm>
+
 #include "graph/bipartite_multigraph.h"
 #include "graph/edge_coloring.h"
+#include "routing/engine.h"
 
 namespace pops {
 
@@ -49,15 +52,24 @@ HRelationPlan route_h_relation(const Topology& topo,
     requests_of_color[as_size(coloring.color[as_size(e)])].push_back(e);
   }
 
+  // One engine for all h phases: the Theorem 2 scratch (multigraphs,
+  // colorings, flat schedule) warms up on the first phase and is
+  // reused by the remaining h - 1, which is where bulk h-relations
+  // spend their time.
+  RoutingEngine engine(topo, options);
+  std::vector<int> image(as_size(n));
+  std::vector<int> request_of_source(as_size(n));
+  std::vector<bool> destination_used(as_size(n));
+
   for (int c = 0; c < plan.h; ++c) {
     // By properness, the class is a partial permutation: each
     // processor sends at most one of its packets and receives at most
     // one.
     HRelationPhase phase;
     phase.requests = std::move(requests_of_color[as_size(c)]);
-    std::vector<int> image(as_size(n), -1);
-    std::vector<int> request_of_source(as_size(n), -1);
-    std::vector<bool> destination_used(as_size(n), false);
+    std::fill(image.begin(), image.end(), -1);
+    std::fill(request_of_source.begin(), request_of_source.end(), -1);
+    std::fill(destination_used.begin(), destination_used.end(), false);
     for (const int e : phase.requests) {
       const Request& request = requests[as_size(e)];
       image[as_size(request.source)] = request.destination;
@@ -75,16 +87,16 @@ HRelationPlan route_h_relation(const Topology& topo,
       destination_used[as_size(next_free)] = true;
     }
 
-    const RoutePlan padded =
-        route_permutation(topo, Permutation(std::move(image)), options);
+    const FlatSchedule& padded =
+        engine.route_permutation(Permutation(image));
 
     // Dropping the padding transmissions only relaxes the optical
     // constraints, so the filtered schedule stays valid. Each kept
-    // transmission is renamed from route_permutation's packet id (the
-    // phase source) to the request id the simulator tracks.
-    for (const SlotPlan& slot : padded.slots) {
+    // transmission is renamed from the engine's packet id (the phase
+    // source) to the request id the simulator tracks.
+    for (int s = 0; s < padded.slot_count(); ++s) {
       SlotPlan filtered;
-      for (const Transmission& t : slot.transmissions) {
+      for (const Transmission& t : padded.slot(s)) {
         const int request = request_of_source[as_size(t.packet)];
         if (request == -1) continue;
         filtered.transmissions.push_back(

@@ -1,46 +1,20 @@
 #include "routing/portfolio.h"
 
-#include "routing/verify.h"
-
 namespace pops {
 
-std::string to_string(RouteStrategy strategy) {
-  switch (strategy) {
-    case RouteStrategy::kDirect:
-      return "direct";
-    case RouteStrategy::kTheorem2:
-      return "theorem2";
-  }
-  POPS_CHECK(false, "to_string: unknown RouteStrategy");
-  return "";
-}
-
+// Compatibility wrapper: RoutingEngine::route_best runs both
+// candidates and executes both on its internal strict simulator
+// (aborting on any violation); this copies the winner into the legacy
+// nested-vector plan.
 PortfolioPlan best_route(const Topology& topo, const Permutation& pi,
                          const RouterOptions& options) {
-  DirectPlan direct = route_direct(topo, pi);
-  const VerificationResult direct_vr =
-      verify_schedule(topo, pi, direct.slots);
-  POPS_CHECK(direct_vr.ok,
-             "best_route: direct candidate failed verification: " +
-                 direct_vr.failure);
-
-  RoutePlan theorem2 = route_permutation(topo, pi, options);
-  const VerificationResult theorem2_vr =
-      verify_schedule(topo, pi, theorem2.slots);
-  POPS_CHECK(theorem2_vr.ok,
-             "best_route: Theorem 2 candidate failed verification: " +
-                 theorem2_vr.failure);
-
+  RoutingEngine engine(topo, options);
+  const FlatSchedule& flat = engine.route_best(pi);
   PortfolioPlan plan;
-  plan.direct_slot_count = direct.slot_count();
-  plan.theorem2_slot_count = theorem2.slot_count();
-  if (direct.slot_count() <= theorem2.slot_count()) {
-    plan.strategy = RouteStrategy::kDirect;
-    plan.slots = std::move(direct.slots);
-  } else {
-    plan.strategy = RouteStrategy::kTheorem2;
-    plan.slots = std::move(theorem2.slots);
-  }
+  plan.strategy = engine.best_strategy();
+  plan.slots = flat.to_slot_plans();
+  plan.direct_slot_count = engine.direct_slot_count();
+  plan.theorem2_slot_count = engine.theorem2_slot_count();
   return plan;
 }
 

@@ -13,16 +13,10 @@
 #include <vector>
 
 #include "routing/direct_router.h"
+#include "routing/engine.h"
 #include "routing/router.h"
 
 namespace pops {
-
-enum class RouteStrategy {
-  kDirect = 0,
-  kTheorem2 = 1,
-};
-
-std::string to_string(RouteStrategy strategy);
 
 struct PortfolioPlan {
   /// The candidate that won (direct wins ties: same length, one hop

@@ -1,102 +1,26 @@
 #include "routing/router.h"
 
-#include <algorithm>
+#include "routing/engine.h"
 
 namespace pops {
-namespace {
-
-// Routes every packet in one slot. Valid exactly when d == 1: then
-// processor == group, so both the source groups and the destination
-// groups of the n transmissions are pairwise distinct and every
-// coupler carries at most one packet.
-RoutePlan route_single_slot(const Topology& topo, const Permutation& pi) {
-  RoutePlan plan;
-  SlotPlan slot;
-  plan.intermediate_of.resize(as_size(topo.processor_count()));
-  for (int source = 0; source < topo.processor_count(); ++source) {
-    slot.transmissions.push_back(
-        Transmission{source, pi(source), source});
-    plan.intermediate_of[as_size(source)] = source;
-  }
-  plan.slots.push_back(std::move(slot));
-  return plan;
-}
-
-}  // namespace
 
 int theorem2_slots(const Topology& topo) {
   if (topo.d() == 1) return 1;
   return 2 * ((topo.d() + topo.g() - 1) / topo.g());
 }
 
+// Compatibility wrapper: the Theorem 2 construction lives in
+// RoutingEngine::route_permutation; this copies the flat schedule into
+// the legacy nested-vector plan. Bulk callers should hold a
+// RoutingEngine and consume the FlatSchedule directly.
 RoutePlan route_permutation(const Topology& topo, const Permutation& pi,
                             const RouterOptions& options) {
-  POPS_CHECK(pi.size() == topo.processor_count(),
-             "route_permutation: permutation does not fit the topology");
-  const int d = topo.d();
-  const int g = topo.g();
-  if (d == 1) return route_single_slot(topo, pi);
-
-  // H: one edge per packet, source group -> destination group. Edge id
-  // == source processor id because sources are added in order and each
-  // holds exactly one packet.
-  BipartiteMultigraph h(g, g);
-  for (int source = 0; source < topo.processor_count(); ++source) {
-    h.add_edge(topo.group_of(source), topo.group_of(pi(source)));
-  }
-  const EdgeColoring coloring = color_edges(h, options.coloring);
-  POPS_CHECK(coloring.num_colors == d,
-             "Theorem 2: H must be d-edge-colorable");
-
-  const int batches = (d + g - 1) / g;
+  RoutingEngine engine(topo, options);
+  const FlatSchedule& flat = engine.route_permutation(pi);
   RoutePlan plan;
-  plan.intermediate_of.assign(as_size(topo.processor_count()), -1);
-
-  for (int q = 0; q < batches; ++q) {
-    const int color_lo = q * g;
-    const int color_hi = std::min((q + 1) * g, d);
-
-    // H_q: the packets whose H-color falls in this batch. Every group
-    // has exactly one edge per color, so H_q is (color_hi - color_lo)-
-    // regular with degree <= g.
-    BipartiteMultigraph h_q(g, g);
-    std::vector<int> source_of_edge;
-    for (int source = 0; source < topo.processor_count(); ++source) {
-      const int c = coloring.color[as_size(source)];
-      if (c < color_lo || c >= color_hi) continue;
-      h_q.add_edge(topo.group_of(source), topo.group_of(pi(source)));
-      source_of_edge.push_back(source);
-    }
-
-    // Fair distribution: a proper coloring of H_q balanced onto g
-    // classes. Properness gives the two distinctness properties; the
-    // balanced size (exactly Delta_q <= d per class) is the receiver
-    // capacity of an intermediate group.
-    const EdgeColoring fair =
-        spread_colors(h_q, color_edges(h_q, options.coloring), g);
-
-    SlotPlan distribute;
-    SlotPlan deliver;
-    std::vector<int> used_of_group(as_size(g), 0);
-    for (int e = 0; e < h_q.edge_count(); ++e) {
-      const int source = source_of_edge[as_size(e)];
-      const int mid_group = fair.color[as_size(e)];
-      const int mid_index = used_of_group[as_size(mid_group)]++;
-      POPS_CHECK(mid_index < d,
-                 "fair distribution overfilled an intermediate group");
-      const int mid = topo.processor(mid_group, mid_index);
-      plan.intermediate_of[as_size(source)] = mid;
-      distribute.transmissions.push_back(
-          Transmission{source, mid, source});
-      deliver.transmissions.push_back(
-          Transmission{mid, pi(source), source});
-    }
-    plan.slots.push_back(std::move(distribute));
-    plan.slots.push_back(std::move(deliver));
-  }
-
-  POPS_CHECK(plan.slot_count() == theorem2_slots(topo),
-             "Theorem 2 schedule has the wrong number of slots");
+  plan.slots = flat.to_slot_plans();
+  const Span<const int> mids = engine.intermediate_of();
+  plan.intermediate_of.assign(mids.begin(), mids.end());
   return plan;
 }
 

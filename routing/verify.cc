@@ -22,23 +22,12 @@ std::string first_stranded_packet(const Network& net) {
   return "";
 }
 
-}  // namespace
-
-VerificationResult verify_schedule(const Topology& topo,
-                                   const Permutation& pi,
-                                   const std::vector<SlotPlan>& slots) {
+// Shared tail of both verify_schedule overloads: the schedule has
+// already been executed on `net`; check full, correct delivery.
+VerificationResult check_permutation_delivery(const Network& net,
+                                              const Permutation& pi) {
   VerificationResult result;
-  if (pi.size() != topo.processor_count()) {
-    result.failure = str_cat("permutation of size ", pi.size(),
-                             " does not fit ", topo.to_string());
-    return result;
-  }
-  Network net(topo);
-  net.load_permutation_traffic(pi);
-  if (!net.execute(slots)) {
-    result.failure = net.failure();
-    return result;
-  }
+  const Topology& topo = net.topology();
   // Full, correct delivery: every processor ends up holding exactly the
   // packet addressed to it.
   result.failure = first_stranded_packet(net);
@@ -62,6 +51,41 @@ VerificationResult verify_schedule(const Topology& topo,
   }
   result.ok = true;
   return result;
+}
+
+// Shared body of both verify_schedule overloads; Schedule is any type
+// Network::execute accepts (nested slots or FlatSchedule).
+template <typename Schedule>
+VerificationResult verify_schedule_impl(const Topology& topo,
+                                        const Permutation& pi,
+                                        const Schedule& schedule) {
+  VerificationResult result;
+  if (pi.size() != topo.processor_count()) {
+    result.failure = str_cat("permutation of size ", pi.size(),
+                             " does not fit ", topo.to_string());
+    return result;
+  }
+  Network net(topo);
+  net.load_permutation_traffic(pi);
+  if (!net.execute(schedule)) {
+    result.failure = net.failure();
+    return result;
+  }
+  return check_permutation_delivery(net, pi);
+}
+
+}  // namespace
+
+VerificationResult verify_schedule(const Topology& topo,
+                                   const Permutation& pi,
+                                   const std::vector<SlotPlan>& slots) {
+  return verify_schedule_impl(topo, pi, slots);
+}
+
+VerificationResult verify_schedule(const Topology& topo,
+                                   const Permutation& pi,
+                                   const FlatSchedule& schedule) {
+  return verify_schedule_impl(topo, pi, schedule);
 }
 
 std::string verify_h_relation(const Topology& topo,

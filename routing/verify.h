@@ -34,6 +34,12 @@ VerificationResult verify_schedule(const Topology& topo,
                                    const Permutation& pi,
                                    const std::vector<SlotPlan>& slots);
 
+/// Flat-schedule overload: verifies an engine-produced FlatSchedule
+/// slot-span by slot-span, without converting to the nested layout.
+VerificationResult verify_schedule(const Topology& topo,
+                                   const Permutation& pi,
+                                   const FlatSchedule& schedule);
+
 /// h-relation counterpart of verify_schedule: loads one packet per
 /// request (id == request index), executes every phase's slots in
 /// order under the strict POPS model, and checks that each request's

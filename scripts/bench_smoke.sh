@@ -9,6 +9,12 @@
 # shorter loop. Without a manifest (older build tree) the script falls
 # back to globbing and requires at least MIN_BENCHES binaries.
 #
+# When a table-output-dir is given, every run additionally emits
+# google-benchmark JSON (--benchmark_out, supported by the real
+# library >= 1.8 and by the bundled shim) and the per-bench files are
+# merged into <table-output-dir>/BENCH_smoke.json — the artifact CI
+# uploads so the perf trajectory accumulates run over run.
+#
 # Usage: scripts/bench_smoke.sh <build-dir> [table-output-dir]
 set -euo pipefail
 
@@ -17,7 +23,15 @@ table_dir="${2:-}"
 min_benches="${MIN_BENCHES:-4}"
 manifest="$build_dir/bench/wired_benches.txt"
 
-[ -n "$table_dir" ] && mkdir -p "$table_dir"
+if [ -n "$table_dir" ]; then
+  mkdir -p "$table_dir/json"
+  # A reused table dir must not leak stale numbers into the uploaded
+  # artifacts: not via leftover per-bench files, and not via a previous
+  # run's merged JSON surviving an aborted run (CI uploads with
+  # `if: always()`).
+  rm -f "$table_dir/json"/*.json "$table_dir"/*.txt \
+        "$table_dir/BENCH_smoke.json"
+fi
 
 run_bench() {
   local bench="$1"
@@ -25,11 +39,38 @@ run_bench() {
   name="$(basename "$bench")"
   echo "::group::${name}"
   if [ -n "$table_dir" ]; then
-    "$bench" --benchmark_min_time=0.01x | tee "$table_dir/${name}.txt"
+    "$bench" --benchmark_min_time=0.01x \
+             --benchmark_out="$table_dir/json/${name}.json" \
+             --benchmark_out_format=json | tee "$table_dir/${name}.txt"
   else
     "$bench" --benchmark_min_time=0.01x
   fi
   echo "::endgroup::"
+}
+
+# Merges the per-bench JSON objects into one
+# {"schema": 1, "benches": {"<name>": <google-benchmark json>, ...}}
+# document. Each per-bench file is a complete JSON object, so plain
+# concatenation yields valid JSON without external tools.
+merge_json() {
+  local out="$table_dir/BENCH_smoke.json"
+  local first=1
+  {
+    printf '{\n"schema": 1,\n"benches": {\n'
+    local file
+    for file in "$table_dir"/json/*.json; do
+      [ -f "$file" ] || continue
+      if [ "$first" -eq 0 ]; then printf ',\n'; fi
+      first=0
+      printf '"%s": ' "$(basename "$file" .json)"
+      cat "$file"
+    done
+    printf '}\n}\n'
+  } > "$out"
+  # The per-bench files are fully contained in the merged artifact;
+  # dropping them keeps the uploaded tables dir free of intermediates.
+  rm -rf "$table_dir/json"
+  echo "wrote $out"
 }
 
 ran=0
@@ -54,4 +95,8 @@ else
   done
   echo "ran ${ran} bench binaries (glob fallback)"
   test "$ran" -ge "$min_benches"
+fi
+
+if [ -n "$table_dir" ]; then
+  merge_json
 fi

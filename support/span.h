@@ -1,0 +1,50 @@
+// Minimal non-owning contiguous view (C++17 stand-in for std::span).
+//
+// The flat-plan refactor hands schedule slots to the simulator and the
+// verifier as views into one contiguous Transmission array, so the hot
+// path never copies or allocates per slot. Only the surface the
+// routing core needs is implemented.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/check.h"
+
+namespace pops {
+
+template <typename T>
+class Span {
+ public:
+  Span() : data_(nullptr), size_(0) {}
+  Span(T* data, std::size_t size) : data_(data), size_(size) {}
+  /// A whole vector (non-const vectors convert to Span<const T> too).
+  /// Temporaries are rejected: a Span must never outlive its storage.
+  template <typename U>
+  Span(const std::vector<U>& values)  // NOLINT(runtime/explicit)
+      : data_(values.data()), size_(values.size()) {}
+  template <typename U>
+  Span(std::vector<U>& values)  // NOLINT(runtime/explicit)
+      : data_(values.data()), size_(values.size()) {}
+  template <typename U>
+  Span(const std::vector<U>&& values) = delete;
+
+  T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  int count() const { return as_int(size_); }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](std::size_t i) const {
+    POPS_CHECK(i < size_, "Span index out of range");
+    return data_[i];
+  }
+
+  T* begin() const { return data_; }
+  T* end() const { return data_ + size_; }
+
+ private:
+  T* data_;
+  std::size_t size_;
+};
+
+}  // namespace pops

@@ -112,6 +112,31 @@ POPS_TEST(SpreadColorsBalancesClassSizes) {
   }
 }
 
+POPS_TEST(SpreadColorsHandlesMoreClassesThanEdges) {
+  // num_classes larger than the edge count: balance means every class
+  // holds at most one edge (some classes stay empty).
+  BipartiteMultigraph g(3, 3);
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  const EdgeColoring base = color_edges(g);
+  EXPECT_EQ(base.num_colors, 2);
+  const EdgeColoring spread = spread_colors(g, base, 7);
+  EXPECT_EQ(spread.num_colors, 7);
+  EXPECT_TRUE(is_valid_edge_coloring(g, spread));
+  std::vector<int> sizes(as_size(7), 0);
+  for (const int c : spread.color) ++sizes[as_size(c)];
+  for (const int size : sizes) {
+    EXPECT_TRUE(size <= 1);
+  }
+
+  // Degenerate corner: more classes than edges on an empty graph.
+  const BipartiteMultigraph empty(2, 2);
+  const EdgeColoring none = spread_colors(empty, color_edges(empty), 3);
+  EXPECT_EQ(none.num_colors, 3);
+  EXPECT_TRUE(none.color.empty());
+}
+
 POPS_TEST(SpreadColorsKeepsAlreadyBalancedColorings) {
   Rng rng(24);
   const BipartiteMultigraph g = random_regular(8, 8, rng);

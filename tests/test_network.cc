@@ -19,6 +19,22 @@ POPS_TEST(TopologyBasics) {
   EXPECT_EQ(topo.to_string(), "POPS(3,4)");
 }
 
+POPS_TEST(CouplerRejectsOutOfRangeGroups) {
+  // coupler() is an accessor like any other: out-of-range groups are a
+  // caller bug and must trip POPS_CHECK, not silently index a
+  // nonexistent coupler.
+  const Topology topo(3, 4);
+  EXPECT_EQ(topo.coupler(0, 0), 0);
+  EXPECT_EQ(topo.coupler(3, 3), 15);
+  EXPECT_ABORTS(topo.coupler(-1, 0));
+  EXPECT_ABORTS(topo.coupler(0, -1));
+  EXPECT_ABORTS(topo.coupler(4, 0));
+  EXPECT_ABORTS(topo.coupler(0, 4));
+  // Processor ids are not group ids: passing a valid processor id that
+  // exceeds the group count must abort too.
+  EXPECT_ABORTS(topo.coupler(11, 0));
+}
+
 POPS_TEST(LoadPermutationTraffic) {
   const Topology topo(2, 2);
   Network net(topo);
@@ -65,6 +81,69 @@ POPS_TEST(MulticastFromOneTransmitter) {
   EXPECT_EQ(net.buffer(2).size(), std::size_t{1});
   EXPECT_EQ(net.buffer(0).size(), std::size_t{0});
   EXPECT_EQ(net.packet_count(), 2);
+}
+
+POPS_TEST(MulticastAcrossManyCouplersInOneSlot) {
+  // Optical multicast at full fan-out: one transmitter drives all g
+  // couplers of its source-group column with the same packet in a
+  // single slot, and every processor receives a copy.
+  const Topology topo(2, 4);
+  Network net(topo);
+  net.load_packet(Packet{5, 3, -1, 1, 0});
+  SlotPlan slot;
+  for (int p = 0; p < topo.processor_count(); ++p) {
+    slot.transmissions.push_back(Transmission{3, p, 5});
+  }
+  EXPECT_TRUE(net.execute_slot(slot));
+  EXPECT_TRUE(net.ok());
+  EXPECT_EQ(net.packet_count(), topo.processor_count());
+  for (int p = 0; p < topo.processor_count(); ++p) {
+    EXPECT_EQ(net.buffer(p).size(), std::size_t{1});
+    EXPECT_EQ(net.buffer(p)[0].id, 5);
+    EXPECT_EQ(net.buffer(p)[0].hops, 1);
+  }
+  // Exactly the g couplers of source group 1 were busy.
+  EXPECT_EQ(net.stats().coupler_slots_busy,
+            static_cast<long long>(topo.g()));
+}
+
+POPS_TEST(RejectsTwoDifferentPacketsFromOneSource) {
+  // The dual of multicast: a processor may drive several couplers only
+  // with the SAME packet; two different packet ids in one slot violate
+  // the one-transmission-per-processor rule. Exercises the flat
+  // Span-based execute_slot path directly.
+  const Topology topo(2, 2);
+  Network net(topo);
+  net.load_packet(Packet{0, 0, 2, 1, 0});
+  net.load_packet(Packet{1, 0, 1, 1, 0});
+  const std::vector<Transmission> transmissions = {
+      Transmission{0, 2, 0}, Transmission{0, 1, 1}};
+  EXPECT_FALSE(net.execute_slot(Span<const Transmission>(transmissions)));
+  EXPECT_TRUE(net.failure().find("two different packets") !=
+              std::string::npos);
+  // Nothing moved: the slot was rejected atomically.
+  EXPECT_EQ(net.buffer(0).size(), std::size_t{2});
+}
+
+POPS_TEST(ExecutesFlatSchedules) {
+  // The FlatSchedule path is slot-for-slot equivalent to the nested
+  // one.
+  const Topology topo(1, 4);
+  const Permutation pi = vector_reversal(4);
+  FlatSchedule schedule;
+  schedule.begin_slot();
+  for (int p = 0; p < 4; ++p) {
+    schedule.push(Transmission{p, 3 - p, p});
+  }
+  EXPECT_EQ(schedule.slot_count(), 1);
+  EXPECT_EQ(schedule.transmission_count(), 4);
+  EXPECT_EQ(schedule.transmissions().size(), std::size_t{4});
+  EXPECT_EQ(schedule.slot(0)[0].destination, 3);
+  Network net(topo);
+  net.load_permutation_traffic(pi);
+  EXPECT_TRUE(net.execute(schedule));
+  EXPECT_TRUE(net.all_delivered());
+  EXPECT_EQ(net.stats().packets_moved, 4LL);
 }
 
 POPS_TEST(RejectsCouplerOversubscription) {

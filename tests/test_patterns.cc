@@ -1,0 +1,108 @@
+// Satellite: the traffic-pattern generators produce valid,
+// deterministic permutations that the Theorem 2 engine routes at the
+// bound, and one_to_all is an accepted optical multicast.
+#include "pops/patterns.h"
+#include "routing/engine.h"
+#include "routing/verify.h"
+#include "tests/testing.h"
+
+namespace pops {
+namespace {
+
+POPS_TEST(PatternNames) {
+  EXPECT_EQ(to_string(TrafficPattern::kIdentity), "identity");
+  EXPECT_EQ(to_string(TrafficPattern::kGroupReversal), "group-reversal");
+  EXPECT_EQ(to_string(TrafficPattern::kPerfectShuffle),
+            "perfect-shuffle");
+  EXPECT_EQ(to_string(TrafficPattern::kTranspose), "transpose");
+  EXPECT_EQ(to_string(TrafficPattern::kSeededRandom), "seeded-random");
+}
+
+POPS_TEST(PatternsAreWellFormedPermutations) {
+  // The Permutation constructor validates bijectivity, so building
+  // every pattern on every topology (square, wide, tall, odd n) is
+  // already a structural test.
+  for (const auto& [d, g] :
+       {std::pair{1, 1}, {1, 8}, {8, 1}, {3, 3}, {4, 6}, {6, 4}, {5, 3}}) {
+    const Topology topo(d, g);
+    for (const auto pattern : kAllTrafficPatterns) {
+      const Permutation pi = make_pattern(topo, pattern, 7);
+      EXPECT_EQ(pi.size(), topo.processor_count());
+    }
+  }
+}
+
+POPS_TEST(PatternStructure) {
+  const Topology topo(4, 4);
+  EXPECT_TRUE(
+      make_pattern(topo, TrafficPattern::kIdentity).is_identity());
+
+  // Group reversal: same in-group index, mirrored group; an involution.
+  const Permutation reversal =
+      make_pattern(topo, TrafficPattern::kGroupReversal);
+  EXPECT_EQ(reversal(0), 12);
+  EXPECT_EQ(reversal(13), 1);
+  for (int p = 0; p < 16; ++p) {
+    EXPECT_EQ(reversal(reversal(p)), p);
+    EXPECT_EQ(topo.index_in_group(reversal(p)), topo.index_in_group(p));
+  }
+
+  // Transpose of the square grid is an involution.
+  const Permutation transpose =
+      make_pattern(topo, TrafficPattern::kTranspose);
+  EXPECT_EQ(transpose(1), 4);  // (group 0, index 1) -> (group 1, index 0)
+  for (int p = 0; p < 16; ++p) {
+    EXPECT_EQ(transpose(transpose(p)), p);
+  }
+
+  // Out-shuffle: first half spreads to even slots, second to odd.
+  const Permutation shuffle =
+      make_pattern(topo, TrafficPattern::kPerfectShuffle);
+  EXPECT_EQ(shuffle(0), 0);
+  EXPECT_EQ(shuffle(1), 2);
+  EXPECT_EQ(shuffle(8), 1);
+  EXPECT_EQ(shuffle(15), 15);
+}
+
+POPS_TEST(SeededRandomIsDeterministicPerSeed) {
+  const Topology topo(8, 4);
+  const Permutation a =
+      make_pattern(topo, TrafficPattern::kSeededRandom, 5);
+  const Permutation b =
+      make_pattern(topo, TrafficPattern::kSeededRandom, 5);
+  const Permutation c =
+      make_pattern(topo, TrafficPattern::kSeededRandom, 6);
+  EXPECT_TRUE(a.images() == b.images());
+  EXPECT_FALSE(a.images() == c.images());
+}
+
+POPS_TEST(EveryPatternRoutesAtTheTheorem2Bound) {
+  for (const auto& [d, g] : {std::pair{2, 2}, {4, 4}, {8, 3}, {3, 8}}) {
+    const Topology topo(d, g);
+    RoutingEngine engine(topo);
+    for (const auto pattern : kAllTrafficPatterns) {
+      const Permutation pi = make_pattern(topo, pattern, 11);
+      const FlatSchedule& flat = engine.route_permutation(pi);
+      EXPECT_EQ(flat.slot_count(), theorem2_slots(topo));
+      EXPECT_TRUE(verify_schedule(topo, pi, flat).ok);
+    }
+  }
+}
+
+POPS_TEST(OneToAllIsAnAcceptedMulticast) {
+  const Topology topo(3, 3);
+  Network net(topo);
+  net.load_packet(Packet{-1, 4, -1, 1, 0});
+  const SlotPlan slot = one_to_all(topo, 4);
+  EXPECT_EQ(slot.transmissions.size(),
+            as_size(topo.processor_count()));
+  EXPECT_TRUE(net.execute_slot(slot));
+  EXPECT_TRUE(net.ok());
+  for (int p = 0; p < topo.processor_count(); ++p) {
+    EXPECT_EQ(net.buffer(p).size(), std::size_t{1});
+  }
+  EXPECT_ABORTS(one_to_all(topo, topo.processor_count()));
+}
+
+}  // namespace
+}  // namespace pops

@@ -55,7 +55,8 @@ POPS_TEST(RejectsUndeliveredPackets) {
   // An empty schedule delivers nothing (except fixed points).
   const Topology topo(2, 2);
   const Permutation pi = vector_reversal(4);
-  const VerificationResult vr = verify_schedule(topo, pi, {});
+  const VerificationResult vr =
+      verify_schedule(topo, pi, std::vector<SlotPlan>{});
   EXPECT_FALSE(vr.ok);
   EXPECT_TRUE(vr.failure.find("stranded") != std::string::npos);
 }
@@ -86,8 +87,8 @@ POPS_TEST(RejectsScheduleForTheWrongPermutation) {
 }
 
 POPS_TEST(RejectsSizeMismatch) {
-  const VerificationResult vr =
-      verify_schedule(Topology(2, 2), Permutation::identity(3), {});
+  const VerificationResult vr = verify_schedule(
+      Topology(2, 2), Permutation::identity(3), std::vector<SlotPlan>{});
   EXPECT_FALSE(vr.ok);
   EXPECT_TRUE(vr.failure.find("does not fit") != std::string::npos);
 }

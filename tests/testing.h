@@ -26,6 +26,12 @@ void report_failure(const std::string& file, int line,
                     const std::string& message);
 int run_all_tests();
 
+/// Runs `body` in a forked child with stderr silenced; true iff the
+/// child died by SIGABRT (i.e. a POPS_CHECK fired). Used by
+/// EXPECT_ABORTS to cover hard-invariant negative paths without
+/// killing the test binary.
+bool dies_by_abort(const std::function<void()>& body);
+
 }  // namespace pops::testing
 
 #define POPS_TEST(name)                                              \
@@ -68,5 +74,14 @@ int run_all_tests();
     if ((a) == (b)) {                                                \
       ::pops::testing::report_failure(__FILE__, __LINE__,            \
                                       "expected " #a " != " #b);     \
+    }                                                                \
+  } while (false)
+
+#define EXPECT_ABORTS(statement)                                     \
+  do {                                                               \
+    if (!::pops::testing::dies_by_abort([&] { statement; })) {       \
+      ::pops::testing::report_failure(                               \
+          __FILE__, __LINE__,                                        \
+          "expected POPS_CHECK abort: " #statement);                 \
     }                                                                \
   } while (false)

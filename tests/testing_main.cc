@@ -1,5 +1,12 @@
 #include "tests/testing.h"
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
 namespace pops::testing {
 
 std::vector<TestCase>& registry() {
@@ -21,6 +28,25 @@ void report_failure(const std::string& file, int line,
   ++failure_count;
   std::cerr << "  FAILED " << file << ":" << line << ": " << message
             << '\n';
+}
+
+bool dies_by_abort(const std::function<void()>& body) {
+  std::fflush(nullptr);
+  const pid_t pid = fork();
+  if (pid < 0) return false;  // fork failed: report as "did not abort"
+  if (pid == 0) {
+    // Child: the POPS_CHECK message is expected — keep it out of the
+    // test log. _exit skips atexit handlers (and sanitizer leak
+    // checks) so a body that wrongly returns exits cleanly with 0.
+    if (std::freopen("/dev/null", "w", stderr) == nullptr) {
+      // stderr stays noisy; the verdict is unaffected.
+    }
+    body();
+    std::_Exit(0);
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid) return false;
+  return WIFSIGNALED(status) && WTERMSIG(status) == SIGABRT;
 }
 
 int run_all_tests() {
