@@ -1,0 +1,176 @@
+// Experiment E11 — the streaming traffic server (serve/) under
+// sustained open-loop load.
+//
+// Every row is a long-running TrafficServer draining an arrival
+// generator: demands accumulate into h-relation windows, each window
+// is routed by the reused engine at the h * 2*ceil(d/g) budget and
+// executed on the strict simulator (the server aborts on any
+// unverified window, so a routing regression kills the bench). The
+// soak section drives POPS_TRAFFIC_SOAK_WINDOWS windows (default
+// 12000) through one (d, g) point and checks that the server's
+// scratch footprint stayed flat after warm-up — the zero-allocation
+// contract under system-shaped load, not just per-call.
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "pops/patterns.h"
+#include "routing/bounds.h"
+#include "serve/traffic_server.h"
+#include "support/format.h"
+#include "support/table.h"
+
+namespace pops::bench {
+namespace {
+
+long long soak_windows() {
+  // CI's asan job shortens the soak to a few hundred windows via this
+  // env var; the default exercises a production-shaped run.
+  if (const char* env = std::getenv("POPS_TRAFFIC_SOAK_WINDOWS")) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return 12000;
+}
+
+ArrivalConfig arrival_config(ArrivalProcess process, std::uint64_t seed) {
+  ArrivalConfig config;
+  config.process = process;
+  config.seed = seed;
+  config.mean_gap_ticks = 1;
+  config.mean_burst_length = 24;
+  config.mean_off_gap_ticks = 64;
+  return config;
+}
+
+void drive_windows(TrafficServer& server, ArrivalGenerator& generator,
+                   long long windows) {
+  while (server.stats().windows_routed < windows) {
+    server.submit(generator.next());
+  }
+}
+
+void add_row(Table& table, const Topology& topo, ArrivalProcess process,
+             const TrafficServer& server) {
+  const ServerStats& stats = server.stats();
+  const double ticks = static_cast<double>(server.now());
+  table.add(topo.to_string(), to_string(process), stats.windows_routed,
+            stats.demands_routed, stats.max_window_degree,
+            stats.slots_executed, stats.budget_slots,
+            as_int(static_cast<std::size_t>(
+                stats.queueing_delay.percentile(0.50))),
+            as_int(static_cast<std::size_t>(
+                stats.queueing_delay.percentile(0.99))),
+            ticks > 0 ? format_double(
+                            static_cast<double>(stats.demands_routed) /
+                                ticks,
+                            2)
+                      : "-");
+}
+
+void print_tables() {
+  std::cout << "=== E11a: traffic server, 500 windows per arrival "
+               "process (verified) ===\n";
+  Table table({"topology", "arrivals", "windows", "demands", "h_max",
+               "slots", "budget", "delay_p50", "delay_p99",
+               "demands/tick"});
+  for (const auto& [d, g] : {std::pair{1, 8}, {4, 4}, {8, 4}, {4, 8}}) {
+    const Topology topo(d, g);
+    for (const ArrivalProcess process : kAllArrivalProcesses) {
+      ServerConfig config;
+      config.max_window_degree = 4;
+      config.max_window_demands = 256;
+      TrafficServer server(topo, config);
+      ArrivalGenerator generator(topo, arrival_config(process, 11));
+      drive_windows(server, generator, 500);
+      server.flush();
+      add_row(table, topo, process, server);
+    }
+  }
+  table.print(std::cout);
+  std::cout << "Expected shape: slots == budget on every row (each window\n"
+               "routes at exactly h * 2*ceil(d/g) slots; h slots when\n"
+               "d = 1), bursty rows show the largest p99 queueing delay.\n\n";
+
+  const long long windows = soak_windows();
+  std::cout << "=== E11b: soak — " << windows
+            << " windows on POPS(4,4), uniform arrivals ===\n";
+  const Topology topo(4, 4);
+  ServerConfig config;
+  config.max_window_degree = 4;
+  config.max_window_demands = 256;
+  TrafficServer server(topo, config);
+  ArrivalGenerator generator(topo, arrival_config(
+                                       ArrivalProcess::kUniform, 7));
+  const long long warmup = std::max<long long>(100, windows / 10);
+  drive_windows(server, generator, warmup);
+  const ScratchFootprint warm = server.scratch_footprint();
+  drive_windows(server, generator, windows);
+  server.flush();
+  const ScratchFootprint done = server.scratch_footprint();
+  POPS_CHECK(warm == done,
+             "traffic soak grew server scratch after warm-up "
+             "(steady-state allocation)");
+  const ServerStats& stats = server.stats();
+  Table soak({"windows", "demands", "slots", "budget", "delay_p50",
+              "delay_p99", "delay_mean", "footprint"});
+  soak.add(stats.windows_routed, stats.demands_routed,
+           stats.slots_executed, stats.budget_slots,
+           as_int(static_cast<std::size_t>(
+               stats.queueing_delay.percentile(0.50))),
+           as_int(static_cast<std::size_t>(
+               stats.queueing_delay.percentile(0.99))),
+           format_double(stats.queueing_delay.mean(), 2),
+           str_cat(done.units, " (flat after warm-up)"));
+  soak.print(std::cout);
+  std::cout << "Expected shape: footprint identical before and after the\n"
+               "post-warm-up soak (the POPS_CHECK above enforces it).\n\n";
+}
+
+void serve_benchmark(benchmark::State& state, ArrivalProcess process) {
+  const Topology topo(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  ServerConfig config;
+  config.max_window_degree = static_cast<int>(state.range(2));
+  config.max_window_demands = 256;
+  TrafficServer server(topo, config);
+  ArrivalGenerator generator(topo, arrival_config(process, 56));
+  // Warm the arenas so the timed loop measures steady-state serving.
+  drive_windows(server, generator, 2);
+  for (auto _ : state) {
+    server.submit(generator.next());
+  }
+  server.flush();
+  state.SetItemsProcessed(state.iterations());
+  const ServerStats& stats = server.stats();
+  state.counters["windows"] =
+      benchmark::Counter(static_cast<double>(stats.windows_routed));
+  state.counters["delay_p50_ticks"] = benchmark::Counter(
+      static_cast<double>(stats.queueing_delay.percentile(0.50)));
+  state.counters["delay_p99_ticks"] = benchmark::Counter(
+      static_cast<double>(stats.queueing_delay.percentile(0.99)));
+  state.counters["slots_per_window"] =
+      benchmark::Counter(stats.slots_per_window());
+  state.counters["demands_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void BM_ServeUniform(benchmark::State& state) {
+  serve_benchmark(state, ArrivalProcess::kUniform);
+}
+void BM_ServeZipfHotGroup(benchmark::State& state) {
+  serve_benchmark(state, ArrivalProcess::kZipfHotGroup);
+}
+void BM_ServeBurstyOnOff(benchmark::State& state) {
+  serve_benchmark(state, ArrivalProcess::kBurstyOnOff);
+}
+BENCHMARK(BM_ServeUniform)
+    ->Args({4, 4, 4})
+    ->Args({8, 4, 4})
+    ->Args({16, 8, 8});
+BENCHMARK(BM_ServeZipfHotGroup)->Args({4, 4, 4})->Args({16, 8, 8});
+BENCHMARK(BM_ServeBurstyOnOff)->Args({4, 4, 4})->Args({16, 8, 8});
+
+}  // namespace
+}  // namespace pops::bench
+
+POPSNET_BENCH_MAIN(pops::bench::print_tables)

@@ -20,15 +20,38 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <map>
 #include <string>
 #include <vector>
 
 namespace benchmark {
 
+/// User counter (subset of the real library's benchmark::Counter):
+/// plain values are reported as-is; kIsRate values are divided by the
+/// run's elapsed seconds.
+class Counter {
+ public:
+  enum Flags {
+    kDefaults = 0,
+    kIsRate = 1 << 0,
+  };
+
+  Counter(double v = 0.0, Flags f = kDefaults)  // NOLINT(runtime/explicit)
+      : value(v), flags(f) {}
+  operator double() const { return value; }  // NOLINT(runtime/explicit)
+
+  double value;
+  Flags flags;
+};
+
+using UserCounters = std::map<std::string, Counter>;
+
 class State {
  public:
   State(std::vector<std::int64_t> args, std::int64_t iterations)
       : args_(std::move(args)), max_iterations_(iterations) {}
+
+  UserCounters counters;
 
   struct Sentinel {};
   struct Iterator {
@@ -111,6 +134,8 @@ struct Result {
   double ns_per_iter;
   double items_per_second;  // 0 when not set
   std::string label;
+  // User counters, rate flags already applied.
+  std::map<std::string, double> counters;
 };
 
 inline std::vector<Result>& results() {
@@ -162,6 +187,10 @@ inline void write_json(std::FILE* file) {
     if (result.items_per_second > 0) {
       std::fprintf(file, ",\n      \"items_per_second\": %.4f",
                    result.items_per_second);
+    }
+    for (const auto& [counter_name, value] : result.counters) {
+      std::fprintf(file, ",\n      \"%s\": %.4f",
+                   json_escape(counter_name).c_str(), value);
     }
     if (!result.label.empty()) {
       std::fprintf(file, ",\n      \"label\": \"%s\"",
@@ -228,13 +257,25 @@ inline void run_registration(const Registration& registration) {
         state.items_processed() > 0 && seconds > 0
             ? static_cast<double>(state.items_processed()) / seconds
             : 0.0;
+    std::map<std::string, double> counters;
+    for (const auto& [counter_name, counter] : state.counters) {
+      counters[counter_name] =
+          (counter.flags & Counter::kIsRate) && seconds > 0
+              ? counter.value / seconds
+              : counter.value;
+    }
     results().push_back(Result{name, iterations, ns_per_iter,
-                               items_per_second, state.label()});
+                               items_per_second, state.label(),
+                               std::move(counters)});
     if (console_json()) continue;
+    const Result& reported = results().back();
     std::printf("%-48s %12.1f ns %10lld iters", name.c_str(),
                 ns_per_iter, static_cast<long long>(iterations));
     if (items_per_second > 0) {
       std::printf("  %10.2f M items/s", items_per_second / 1e6);
+    }
+    for (const auto& [counter_name, value] : reported.counters) {
+      std::printf("  %s=%.3g", counter_name.c_str(), value);
     }
     if (!state.label().empty()) {
       std::printf("  %s", state.label().c_str());

@@ -38,6 +38,18 @@ class BipartiteMultigraph {
     for (auto& edges : right_edges_) edges.clear();
   }
 
+  /// Pre-sizes the edge array and every adjacency list: refills with
+  /// at most `edges` edges and at most `degree` edges per vertex never
+  /// allocate. The TrafficServer calls this with its window caps so a
+  /// worst-shape window late in a run cannot grow the graph.
+  void reserve_edges(int edges, int degree) {
+    POPS_CHECK(edges >= 0 && degree >= 0,
+               "reserve_edges needs nonnegative capacities");
+    edges_.reserve(as_size(edges));
+    for (auto& list : left_edges_) list.reserve(as_size(degree));
+    for (auto& list : right_edges_) list.reserve(as_size(degree));
+  }
+
   /// Adds an edge and returns its id (ids are dense, in insertion
   /// order).
   int add_edge(int left, int right) {

@@ -23,4 +23,32 @@ Permutation group_rotation(int d, int g, int shift) {
   return Permutation(std::move(images));
 }
 
+Permutation cyclic_shift(int n, int shift) {
+  POPS_CHECK(n >= 1, "cyclic_shift needs n >= 1");
+  std::vector<int> images(as_size(n));
+  for (int i = 0; i < n; ++i) {
+    images[as_size(i)] = ((i + shift) % n + n) % n;
+  }
+  return Permutation(std::move(images));
+}
+
+Permutation group_block(int d, int g, const Permutation& sigma,
+                        const std::vector<Permutation>& within) {
+  POPS_CHECK(d >= 1 && g >= 1, "group_block needs d, g >= 1");
+  POPS_CHECK(sigma.size() == g, "group_block: sigma must permute the groups");
+  POPS_CHECK(as_int(within.size()) == g,
+             "group_block: one within-group permutation per group");
+  const int n = d * g;
+  std::vector<int> images(as_size(n));
+  for (int p = 0; p < n; ++p) {
+    const int group = p / d;
+    const int index = p % d;
+    const Permutation& inner = within[as_size(group)];
+    POPS_CHECK(inner.size() == d,
+               "group_block: within[j] must permute the d in-group indices");
+    images[as_size(p)] = sigma(group) * d + inner(index);
+  }
+  return Permutation(std::move(images));
+}
+
 }  // namespace pops

@@ -15,4 +15,16 @@ Permutation vector_reversal(int n);
 /// stays at its flat bound.
 Permutation group_rotation(int d, int g, int shift);
 
+/// i -> (i + shift) mod n (any shift, negative included).
+Permutation cyclic_shift(int n, int shift);
+
+/// Group-block permutation on POPS(d, g): group j maps as a block onto
+/// group sigma(j), with the packets of group j rearranged inside the
+/// target block by within[j] (a permutation of the d in-group
+/// indices). Processor (j, i) -> (sigma(j), within[j](i)). This is the
+/// instance family of Propositions 2 (sigma moving) and 3 (sigma =
+/// identity).
+Permutation group_block(int d, int g, const Permutation& sigma,
+                        const std::vector<Permutation>& within);
+
 }  // namespace pops

@@ -199,6 +199,14 @@ std::size_t Network::scratch_capacity() const {
   return total;
 }
 
+void Network::reserve_buffers(int per_processor) {
+  POPS_CHECK(per_processor >= 0,
+             "reserve_buffers needs a nonnegative capacity");
+  for (auto& buffer : buffers_) {
+    buffer.reserve(as_size(per_processor));
+  }
+}
+
 bool Network::fail(const std::string& message) {
   if (failure_.empty()) failure_ = message;
   return false;

@@ -148,6 +148,12 @@ class Network {
   /// tests.
   std::size_t scratch_capacity() const;
 
+  /// Pre-sizes every per-processor packet buffer: executions whose
+  /// peak buffer occupancy stays within `per_processor` packets never
+  /// grow scratch_capacity(). The TrafficServer calls this with its
+  /// window worst case so steady-state serving is allocation-free.
+  void reserve_buffers(int per_processor);
+
  private:
   bool fail(const std::string& message);
 

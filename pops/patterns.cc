@@ -1,5 +1,7 @@
 #include "pops/patterns.h"
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 namespace pops {
@@ -78,6 +80,99 @@ Permutation make_pattern(const Topology& topo, TrafficPattern pattern,
   }
   POPS_CHECK(false, "unknown TrafficPattern");
   return Permutation::identity(1);
+}
+
+std::string to_string(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kUniform:
+      return "uniform";
+    case ArrivalProcess::kZipfHotGroup:
+      return "zipf-hot-group";
+    case ArrivalProcess::kBurstyOnOff:
+      return "bursty-on-off";
+  }
+  POPS_CHECK(false, "unknown ArrivalProcess");
+  return "";
+}
+
+ArrivalGenerator::ArrivalGenerator(const Topology& topo,
+                                   const ArrivalConfig& config)
+    : topo_(topo), config_(config), rng_(config.seed) {
+  POPS_CHECK(config_.mean_gap_ticks >= 0,
+             "ArrivalConfig: mean_gap_ticks must be >= 0");
+  if (config_.process == ArrivalProcess::kZipfHotGroup) {
+    POPS_CHECK(config_.zipf_exponent > 0,
+               "ArrivalConfig: zipf_exponent must be positive");
+    // Cumulative (r+1)^-s weights over the g destination-group ranks,
+    // normalized to end at 1. Built once; next() only binary-searches.
+    zipf_cdf_.resize(as_size(topo_.group_count()));
+    double total = 0;
+    for (int r = 0; r < topo_.group_count(); ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1),
+                              config_.zipf_exponent);
+      zipf_cdf_[as_size(r)] = total;
+    }
+    for (double& value : zipf_cdf_) value /= total;
+  }
+  if (config_.process == ArrivalProcess::kBurstyOnOff) {
+    POPS_CHECK(config_.mean_burst_length >= 1,
+               "ArrivalConfig: mean_burst_length must be >= 1");
+    POPS_CHECK(config_.mean_off_gap_ticks >= 1,
+               "ArrivalConfig: mean_off_gap_ticks must be >= 1");
+  }
+}
+
+int ArrivalGenerator::draw_destination(int source) {
+  const int n = topo_.processor_count();
+  int destination;
+  if (config_.process == ArrivalProcess::kZipfHotGroup) {
+    const double u = rng_.next_double();
+    const auto it =
+        std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    const int group = std::min(
+        as_int(static_cast<std::size_t>(it - zipf_cdf_.begin())),
+        topo_.group_count() - 1);
+    destination = topo_.processor(group, rng_.next_below(topo_.d()));
+  } else {
+    destination = rng_.next_below(n);
+  }
+  // Self-demands carry no traffic; bump deterministically (a no-op
+  // only on the one-processor topology).
+  if (destination == source && n > 1) {
+    destination = (destination + 1) % n;
+  }
+  return destination;
+}
+
+Demand ArrivalGenerator::next() {
+  const int mean_gap = config_.mean_gap_ticks;
+  switch (config_.process) {
+    case ArrivalProcess::kUniform:
+    case ArrivalProcess::kZipfHotGroup:
+      if (mean_gap > 0) {
+        next_tick_ +=
+            static_cast<std::uint64_t>(rng_.next_below(2 * mean_gap + 1));
+      }
+      break;
+    case ArrivalProcess::kBurstyOnOff:
+      if (burst_remaining_ == 0) {
+        burst_remaining_ =
+            rng_.uniform_int(1, 2 * config_.mean_burst_length - 1);
+        next_tick_ += static_cast<std::uint64_t>(
+            rng_.uniform_int(1, 2 * config_.mean_off_gap_ticks));
+      } else if (mean_gap > 0) {
+        next_tick_ +=
+            static_cast<std::uint64_t>(rng_.next_below(mean_gap + 1));
+      }
+      --burst_remaining_;
+      break;
+  }
+  Demand demand;
+  demand.source = rng_.next_below(topo_.processor_count());
+  demand.destination = draw_destination(demand.source);
+  demand.payload = config_.payload_flits;
+  demand.arrival_tick = next_tick_;
+  return demand;
 }
 
 SlotPlan one_to_all(const Topology& topo, int source) {

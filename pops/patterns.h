@@ -12,9 +12,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "perm/permutation.h"
 #include "pops/network.h"
+#include "support/prng.h"
 
 namespace pops {
 
@@ -46,5 +48,84 @@ Permutation make_pattern(const Topology& topo, TrafficPattern pattern,
 /// "any"), and every processor — including `source` itself — tunes to
 /// the coupler of its own group. One slot, n deliveries.
 SlotPlan one_to_all(const Topology& topo, int source);
+
+// ---------------------------------------------------------------------
+// Open-loop arrival generators — the demand streams the TrafficServer
+// (serve/) accumulates into h-relation windows. Arrivals are open-loop:
+// the tick of each demand is fixed by the generator alone, never by how
+// fast the server drains its windows, so queueing delay is a real
+// measurement and not an artifact of backpressure.
+// ---------------------------------------------------------------------
+
+/// One point-to-point demand: `source` must deliver `payload` flits to
+/// `destination`, injected at `arrival_tick` (ticks are the slot-time
+/// unit of the simulator).
+struct Demand {
+  int source = 0;
+  int destination = 0;
+  int payload = 1;
+  std::uint64_t arrival_tick = 0;
+};
+
+inline bool operator==(const Demand& a, const Demand& b) {
+  return a.source == b.source && a.destination == b.destination &&
+         a.payload == b.payload && a.arrival_tick == b.arrival_tick;
+}
+
+enum class ArrivalProcess {
+  kUniform = 0,       // src, dst uniform; gaps uniform around the mean
+  kZipfHotGroup = 1,  // dst group Zipf-skewed (group 0 hottest)
+  kBurstyOnOff = 2,   // back-to-back bursts separated by idle gaps
+};
+
+inline constexpr ArrivalProcess kAllArrivalProcesses[] = {
+    ArrivalProcess::kUniform,
+    ArrivalProcess::kZipfHotGroup,
+    ArrivalProcess::kBurstyOnOff,
+};
+
+std::string to_string(ArrivalProcess process);
+
+struct ArrivalConfig {
+  ArrivalProcess process = ArrivalProcess::kUniform;
+  std::uint64_t seed = 0;
+  /// Mean inter-arrival gap in ticks (uniform and Zipf draw gaps
+  /// uniformly from [0, 2 * mean]; bursty uses it inside a burst).
+  int mean_gap_ticks = 1;
+  /// kZipfHotGroup: weight of destination group r is (r+1)^-exponent.
+  double zipf_exponent = 1.2;
+  /// kBurstyOnOff: demands per burst, uniform in [1, 2 * mean - 1].
+  int mean_burst_length = 32;
+  /// kBurstyOnOff: idle gap between bursts, uniform in [1, 2 * mean].
+  int mean_off_gap_ticks = 256;
+  /// Payload of every demand, in flits.
+  int payload_flits = 1;
+};
+
+/// Deterministic open-loop demand stream: a given (topology, config)
+/// pair — the seed included — yields a byte-identical sequence of
+/// Demands on every run (the Rng is portable by construction).
+/// Arrival ticks are nondecreasing and source != destination whenever
+/// the topology has more than one processor.
+class ArrivalGenerator {
+ public:
+  ArrivalGenerator(const Topology& topo, const ArrivalConfig& config);
+
+  const Topology& topology() const { return topo_; }
+  const ArrivalConfig& config() const { return config_; }
+
+  /// The next demand of the stream.
+  Demand next();
+
+ private:
+  int draw_destination(int source);
+
+  Topology topo_;
+  ArrivalConfig config_;
+  Rng rng_;
+  std::uint64_t next_tick_ = 0;
+  int burst_remaining_ = 0;
+  std::vector<double> zipf_cdf_;  // per destination group, normalized
+};
 
 }  // namespace pops

@@ -34,16 +34,37 @@ RoutingEngine::RoutingEngine(const Topology& topo,
   coupler_count_.reserve(as_size(topo_.coupler_count()));
   coupler_offset_.reserve(as_size(topo_.coupler_count() + 1));
   coupler_queue_.reserve(as_size(n));
+  image_seen_stamp_.assign(as_size(n), 0);
 }
 
 const FlatSchedule& RoutingEngine::route_permutation(
     const Permutation& pi) {
-  build_theorem2(pi);
+  // The Permutation constructor already validated bijectivity.
+  build_theorem2(Span<const int>(pi.images()));
   return theorem2_schedule_;
 }
 
-void RoutingEngine::build_theorem2(const Permutation& pi) {
-  POPS_CHECK(pi.size() == topo_.processor_count(),
+const FlatSchedule& RoutingEngine::route_permutation(
+    Span<const int> images) {
+  const int n = topo_.processor_count();
+  POPS_CHECK(images.count() == n,
+             "route_permutation: image array does not fit the topology");
+  ++image_epoch_;
+  for (int i = 0; i < n; ++i) {
+    const int v = images[as_size(i)];
+    POPS_CHECK(v >= 0 && v < n,
+               "route_permutation: image out of range");
+    POPS_CHECK(image_seen_stamp_[as_size(v)] != image_epoch_,
+               "route_permutation: image array is not a permutation");
+    image_seen_stamp_[as_size(v)] = image_epoch_;
+  }
+  build_theorem2(images);
+  return theorem2_schedule_;
+}
+
+void RoutingEngine::build_theorem2(Span<const int> images) {
+  const auto pi = [&images](int i) { return images[as_size(i)]; };
+  POPS_CHECK(images.count() == topo_.processor_count(),
              "route_permutation: permutation does not fit the topology");
   const int d = topo_.d();
   const int g = topo_.g();
@@ -181,7 +202,7 @@ const FlatSchedule& RoutingEngine::route_best(const Permutation& pi) {
   POPS_CHECK(delivers(direct_schedule_, pi),
              str_cat("best_route: direct candidate failed verification: ",
                      verification_failure()));
-  build_theorem2(pi);
+  build_theorem2(Span<const int>(pi.images()));
   POPS_CHECK(
       delivers(theorem2_schedule_, pi),
       str_cat("best_route: Theorem 2 candidate failed verification: ",
@@ -222,7 +243,7 @@ ScratchFootprint RoutingEngine::scratch_footprint() const {
       theorem2_schedule_.transmission_capacity() +
       theorem2_schedule_.offset_capacity() +
       coupler_count_.capacity() + coupler_offset_.capacity() +
-      coupler_queue_.capacity() +
+      coupler_queue_.capacity() + image_seen_stamp_.capacity() +
       direct_schedule_.transmission_capacity() +
       direct_schedule_.offset_capacity() +
       (net_.has_value() ? net_->scratch_capacity() : 0);

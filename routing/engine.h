@@ -72,6 +72,14 @@ class RoutingEngine {
   /// until the next route_* call on this engine.
   const FlatSchedule& route_permutation(const Permutation& pi);
 
+  /// Same schedule for a permutation given as its raw image array
+  /// (packet of processor i goes to images[i]). The engine validates
+  /// bijectivity into its own stamped scratch, so bulk callers that
+  /// rebuild an image buffer per call — the traffic server's padded
+  /// per-phase permutations — route with zero steady-state allocation
+  /// and no Permutation construction.
+  const FlatSchedule& route_permutation(Span<const int> images);
+
   /// Intermediate processor of each source's packet in the last
   /// route_permutation schedule (the source itself when the packet was
   /// routed directly, as in the d == 1 case).
@@ -97,7 +105,7 @@ class RoutingEngine {
   ScratchFootprint scratch_footprint() const;
 
  private:
-  void build_theorem2(const Permutation& pi);
+  void build_theorem2(Span<const int> images);
   void build_direct(const Permutation& pi);
   /// Executes `schedule` on the internal simulator under permutation
   /// traffic pi; true iff every packet was delivered. Allocation-free
@@ -119,6 +127,10 @@ class RoutingEngine {
   std::vector<int> used_of_group_;   // intermediates taken per group
   std::vector<int> intermediate_of_;
   FlatSchedule theorem2_schedule_;
+  // Bijectivity check of the Span overload: seen[v] is valid only when
+  // stamped with the current validation epoch, so no clearing pass.
+  std::vector<long long> image_seen_stamp_;
+  long long image_epoch_ = 0;
 
   // --- Direct-router scratch (CSR coupler queues) ---
   std::vector<int> coupler_count_;   // packets per coupler

@@ -1,0 +1,174 @@
+// TrafficServer: the streaming h-relation serving layer.
+//
+// Every workload below this layer is a one-shot call; the server is
+// the long-running system the ROADMAP's "millions of users" scenario
+// asks for. It accepts an open-loop stream of point-to-point demands,
+// accumulates them into a window that is always a valid h-relation
+// (the degree cap is enforced on admission, so the König decomposition
+// below never sees a window of unbounded degree), and on window close
+// routes the window with one reused RoutingEngine — the same
+// decomposition as routing/h_relation, re-implemented against
+// server-owned scratch so that steady-state serving performs no heap
+// allocation — executes the schedule on the strict simulator, and
+// aborts rather than report counters from an unverified window.
+//
+// Time is measured in slots ("ticks"): demands carry the arrival tick
+// of their open-loop generator, a window executes at
+// max(server clock, latest arrival in the window), and the clock then
+// advances by the window's slot count. Queueing delay of a demand is
+// the tick distance from its arrival to its window's execution,
+// aggregated in a fixed-bucket histogram (p50/p99 without allocation).
+//
+// Ownership follows the RoutingEngine discipline: the server owns
+// every intermediate — the traffic multigraph, the coloring, the
+// per-phase padding arrays, the filtered flat schedule, the simulator
+// — and rebuilds them in place per window. scratch_footprint() is the
+// aggregate capacity the soak tests compare across thousands of
+// windows.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "pops/flat_plan.h"
+#include "pops/network.h"
+#include "pops/patterns.h"
+#include "routing/engine.h"
+#include "routing/h_relation.h"
+
+namespace pops {
+
+struct ServerConfig {
+  /// Window degree cap h: a window never holds more demands sent by —
+  /// or addressed to — one processor. A demand that would exceed the
+  /// cap closes the window first and opens the next one.
+  int max_window_degree = 4;
+  /// Window demand-count cap: the window closes as soon as it holds
+  /// this many demands.
+  int max_window_demands = 1024;
+  RouterOptions router;
+};
+
+/// Power-of-two-bucket latency histogram: bucket k counts delays in
+/// [2^(k-1), 2^k) (bucket 0 counts exact zeros). Fixed storage, so
+/// recording is allocation-free; percentiles are bucket upper bounds.
+struct DelayHistogram {
+  long long count = 0;
+  unsigned long long sum = 0;
+  std::uint64_t max = 0;
+  std::array<long long, 64> buckets{};
+
+  void record(std::uint64_t delay);
+  /// Upper bound of the bucket holding the q-quantile (q in [0, 1]);
+  /// 0 for an empty histogram.
+  std::uint64_t percentile(double q) const;
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) /
+                            static_cast<double>(count);
+  }
+};
+
+struct ServerStats {
+  long long windows_routed = 0;
+  long long demands_routed = 0;
+  long long payload_flits_delivered = 0;
+  /// Sum of executed window slot counts...
+  long long slots_executed = 0;
+  /// ...against the sum of per-window h-relation budgets
+  /// (h * 2 * ceil(d/g)); the König path meets the budget exactly.
+  long long budget_slots = 0;
+  /// Largest window degree h closed so far.
+  int max_window_degree = 0;
+  /// Ticks from demand arrival to window execution.
+  DelayHistogram queueing_delay;
+
+  double slots_per_window() const {
+    return windows_routed == 0
+               ? 0.0
+               : static_cast<double>(slots_executed) /
+                     static_cast<double>(windows_routed);
+  }
+};
+
+class TrafficServer {
+ public:
+  explicit TrafficServer(const Topology& topo,
+                         const ServerConfig& config = {});
+
+  const Topology& topology() const { return topo_; }
+  const ServerConfig& config() const { return config_; }
+  const ServerStats& stats() const { return stats_; }
+
+  /// The server clock, in ticks (slots executed so far, gated by
+  /// arrival times).
+  std::uint64_t now() const { return clock_; }
+
+  /// Enqueues one demand into the open window, closing and executing
+  /// the window first when the demand would breach the degree cap, and
+  /// after adding when the count cap is reached.
+  void submit(const Demand& demand);
+
+  /// Closes and executes the open window; a no-op when it is empty.
+  void flush();
+
+  /// Demands waiting in the open window.
+  int pending_demands() const { return as_int(demands_.size()); }
+  /// Degree (max per-processor send/receive count) of the open window.
+  int pending_degree() const { return window_degree_; }
+
+  /// Degree of the last executed window (0 before the first window).
+  int last_window_degree() const { return last_h_; }
+  /// Slot count of the last executed window.
+  int last_window_slots() const { return window_schedule_.slot_count(); }
+
+  /// Debug/verification accessors: the last executed window as the
+  /// routing/h_relation types, so tests can feed the server's output
+  /// through verify_h_relation. These materialize fresh vectors and
+  /// are not part of the serving hot path.
+  std::vector<Request> last_window_requests() const;
+  HRelationPlan last_window_plan() const;
+
+  /// Aggregate capacity of every server-owned arena (engine and
+  /// simulator included). Two equal footprints around a stretch of
+  /// serving mean no steady-state allocation grew.
+  ScratchFootprint scratch_footprint() const;
+
+ private:
+  void execute_window();
+  void prime_scratch();
+
+  Topology topo_;
+  ServerConfig config_;
+  ServerStats stats_;
+  std::uint64_t clock_ = 0;
+
+  // --- Open window ---
+  std::vector<Demand> demands_;
+  std::vector<int> send_count_;  // per processor, this window
+  std::vector<int> recv_count_;  // per processor, this window
+  int window_degree_ = 0;
+  std::uint64_t window_max_arrival_ = 0;
+  long long window_payload_ = 0;
+
+  // --- Routing scratch (rebuilt in place per window) ---
+  RoutingEngine engine_;
+  BipartiteMultigraph traffic_;  // n x n, one edge per demand
+  EdgeColorer colorer_;
+  EdgeColoring coloring_;          // h-coloring of the traffic graph
+  std::vector<int> phase_offsets_;  // CSR over phases, h + 1 entries
+  std::vector<int> phase_demands_;  // demand ids bucketed by phase
+  std::vector<int> phase_cursor_;   // counting-sort fill cursors
+  std::vector<int> image_;             // padded permutation of a phase
+  std::vector<int> demand_of_source_;  // source -> demand id, per phase
+  std::vector<char> destination_used_;
+  FlatSchedule window_schedule_;  // filtered, demand-id packet names
+  Network net_;
+
+  // --- Last executed window (for the debug accessors) ---
+  std::vector<Demand> last_demands_;
+  int last_h_ = 0;
+};
+
+}  // namespace pops

@@ -89,6 +89,82 @@ POPS_TEST(EveryPatternRoutesAtTheTheorem2Bound) {
   }
 }
 
+POPS_TEST(ArrivalGeneratorsAreDeterministicPerSeed) {
+  // The serving benches depend on byte-identical demand streams: the
+  // same (topology, config) pair must replay exactly, and a different
+  // seed must diverge.
+  const Topology topo(4, 4);
+  for (const ArrivalProcess process : kAllArrivalProcesses) {
+    ArrivalConfig config;
+    config.process = process;
+    config.seed = 42;
+    ArrivalGenerator a(topo, config);
+    ArrivalGenerator b(topo, config);
+    config.seed = 43;
+    ArrivalGenerator other(topo, config);
+    bool diverged = false;
+    for (int k = 0; k < 500; ++k) {
+      const Demand demand = a.next();
+      EXPECT_TRUE(demand == b.next());
+      if (!(demand == other.next())) diverged = true;
+    }
+    EXPECT_TRUE(diverged);
+  }
+}
+
+POPS_TEST(ArrivalStreamsAreWellFormed) {
+  for (const auto& [d, g] : {std::pair{1, 1}, {1, 8}, {4, 4}, {3, 5}}) {
+    const Topology topo(d, g);
+    const int n = topo.processor_count();
+    for (const ArrivalProcess process : kAllArrivalProcesses) {
+      ArrivalConfig config;
+      config.process = process;
+      config.seed = 9;
+      config.payload_flits = 3;
+      ArrivalGenerator generator(topo, config);
+      std::uint64_t previous_tick = 0;
+      for (int k = 0; k < 300; ++k) {
+        const Demand demand = generator.next();
+        EXPECT_TRUE(demand.source >= 0 && demand.source < n);
+        EXPECT_TRUE(demand.destination >= 0 && demand.destination < n);
+        if (n > 1) EXPECT_NE(demand.source, demand.destination);
+        EXPECT_EQ(demand.payload, 3);
+        EXPECT_TRUE(demand.arrival_tick >= previous_tick);
+        previous_tick = demand.arrival_tick;
+      }
+    }
+  }
+}
+
+POPS_TEST(ArrivalProcessNamesAndValidation) {
+  EXPECT_EQ(to_string(ArrivalProcess::kUniform), "uniform");
+  EXPECT_EQ(to_string(ArrivalProcess::kZipfHotGroup), "zipf-hot-group");
+  EXPECT_EQ(to_string(ArrivalProcess::kBurstyOnOff), "bursty-on-off");
+  ArrivalConfig config;
+  config.mean_gap_ticks = -1;
+  EXPECT_ABORTS(ArrivalGenerator(Topology(2, 2), config));
+}
+
+POPS_TEST(ZipfHotGroupSkewsTowardGroupZero) {
+  // Group 0 is the hottest destination group by construction; over a
+  // long stream it must receive strictly more demands than the last
+  // group.
+  const Topology topo(4, 8);
+  ArrivalConfig config;
+  config.process = ArrivalProcess::kZipfHotGroup;
+  config.seed = 12;
+  config.zipf_exponent = 1.2;
+  ArrivalGenerator generator(topo, config);
+  int hot = 0;
+  int cold = 0;
+  for (int k = 0; k < 4000; ++k) {
+    const int group = topo.group_of(generator.next().destination);
+    if (group == 0) ++hot;
+    if (group == topo.group_count() - 1) ++cold;
+  }
+  EXPECT_TRUE(hot > 2 * cold);
+}
+
 POPS_TEST(OneToAllIsAnAcceptedMulticast) {
   const Topology topo(3, 3);
   Network net(topo);

@@ -1,0 +1,250 @@
+// Tests for serve/: window-close edge cases, verification of the
+// server's routed windows through the independent verify_h_relation
+// checker (including a corrupted-window negative path), and the
+// zero-steady-state-allocation soak contract.
+#include "serve/traffic_server.h"
+
+#include <vector>
+
+#include "pops/patterns.h"
+#include "routing/bounds.h"
+#include "routing/verify.h"
+#include "tests/testing.h"
+
+namespace pops {
+namespace {
+
+Demand make_demand(int source, int destination,
+                   std::uint64_t arrival_tick = 0, int payload = 1) {
+  Demand demand;
+  demand.source = source;
+  demand.destination = destination;
+  demand.payload = payload;
+  demand.arrival_tick = arrival_tick;
+  return demand;
+}
+
+POPS_TEST(EmptyFlushIsNoOp) {
+  TrafficServer server(Topology(4, 4));
+  server.flush();
+  server.flush();
+  EXPECT_EQ(server.stats().windows_routed, 0);
+  EXPECT_EQ(server.pending_demands(), 0);
+  EXPECT_EQ(server.now(), std::uint64_t{0});
+}
+
+POPS_TEST(SingleDemandWindow) {
+  const Topology topo(4, 4);
+  TrafficServer server(topo);
+  server.submit(make_demand(0, 5, 3));
+  EXPECT_EQ(server.pending_demands(), 1);
+  EXPECT_EQ(server.pending_degree(), 1);
+  server.flush();
+  const ServerStats& stats = server.stats();
+  EXPECT_EQ(stats.windows_routed, 1);
+  EXPECT_EQ(stats.demands_routed, 1);
+  EXPECT_EQ(server.last_window_degree(), 1);
+  // One-phase window: exactly the Theorem 2 slot count.
+  EXPECT_EQ(server.last_window_slots(), theorem2_slots(topo));
+  EXPECT_EQ(stats.slots_executed,
+            static_cast<long long>(theorem2_slots(topo)));
+  EXPECT_EQ(stats.budget_slots, static_cast<long long>(
+                                    h_relation_budget(topo, 1)));
+  // Window executes at max(clock=0, arrival=3) and takes its slots.
+  EXPECT_EQ(server.now(),
+            std::uint64_t{3} +
+                static_cast<std::uint64_t>(theorem2_slots(topo)));
+  EXPECT_EQ(stats.queueing_delay.count, 1);
+}
+
+POPS_TEST(ExactlyHDegreeClosesOnBreach) {
+  // Degree cap 2: two demands from the same source fill the window;
+  // the third from that source must close it first.
+  ServerConfig config;
+  config.max_window_degree = 2;
+  TrafficServer server(Topology(4, 4), config);
+  server.submit(make_demand(0, 5));
+  server.submit(make_demand(0, 6));
+  EXPECT_EQ(server.pending_demands(), 2);
+  EXPECT_EQ(server.pending_degree(), 2);
+  EXPECT_EQ(server.stats().windows_routed, 0);
+  server.submit(make_demand(0, 7));
+  EXPECT_EQ(server.stats().windows_routed, 1);
+  EXPECT_EQ(server.last_window_degree(), 2);
+  EXPECT_EQ(server.pending_demands(), 1);
+  server.flush();
+  EXPECT_EQ(server.stats().windows_routed, 2);
+  EXPECT_EQ(server.last_window_degree(), 1);
+}
+
+POPS_TEST(ReceiveDegreeAlsoCloses) {
+  ServerConfig config;
+  config.max_window_degree = 2;
+  TrafficServer server(Topology(4, 4), config);
+  server.submit(make_demand(1, 9));
+  server.submit(make_demand(2, 9));
+  server.submit(make_demand(3, 9));  // third receiver hit on 9
+  EXPECT_EQ(server.stats().windows_routed, 1);
+  EXPECT_EQ(server.pending_demands(), 1);
+}
+
+POPS_TEST(CountCapClosesWindow) {
+  ServerConfig config;
+  config.max_window_demands = 3;
+  TrafficServer server(Topology(2, 4), config);
+  server.submit(make_demand(0, 4));
+  server.submit(make_demand(1, 5));
+  EXPECT_EQ(server.stats().windows_routed, 0);
+  server.submit(make_demand(2, 6));
+  EXPECT_EQ(server.stats().windows_routed, 1);
+  EXPECT_EQ(server.pending_demands(), 0);
+}
+
+POPS_TEST(LastWindowPassesVerifyHRelation) {
+  // The server's last-window debug accessors reconstruct the
+  // routing/h_relation types; the independent checker must accept the
+  // plan for every arrival process and a couple of topologies.
+  for (const auto& [d, g] : {std::pair{4, 4}, {8, 4}, {1, 8}}) {
+    const Topology topo(d, g);
+    for (const ArrivalProcess process : kAllArrivalProcesses) {
+      ServerConfig config;
+      config.max_window_degree = 3;
+      config.max_window_demands = 64;
+      TrafficServer server(topo, config);
+      ArrivalConfig arrivals;
+      arrivals.process = process;
+      arrivals.seed = 21;
+      ArrivalGenerator generator(topo, arrivals);
+      while (server.stats().windows_routed < 3) {
+        server.submit(generator.next());
+      }
+      const std::vector<Request> requests = server.last_window_requests();
+      const HRelationPlan plan = server.last_window_plan();
+      EXPECT_EQ(plan.h, server.last_window_degree());
+      EXPECT_EQ(plan.total_slots(), server.last_window_slots());
+      EXPECT_EQ(verify_h_relation(topo, requests, plan), std::string());
+    }
+  }
+}
+
+POPS_TEST(CorruptedWindowFailsVerification) {
+  const Topology topo(4, 4);
+  ServerConfig config;
+  config.max_window_degree = 3;
+  TrafficServer server(topo, config);
+  ArrivalConfig arrivals;
+  arrivals.seed = 5;
+  ArrivalGenerator generator(topo, arrivals);
+  while (server.stats().windows_routed < 1) {
+    server.submit(generator.next());
+  }
+  const std::vector<Request> requests = server.last_window_requests();
+  HRelationPlan plan = server.last_window_plan();
+  EXPECT_EQ(verify_h_relation(topo, requests, plan), std::string());
+
+  // Redirect the first routed transmission to a wrong receiver: the
+  // strict checker must reject the doctored plan (the packet is either
+  // misdelivered or the slot now violates the receiver rules).
+  bool corrupted = false;
+  for (auto& phase : plan.phases) {
+    for (auto& slot : phase.slots) {
+      if (!slot.transmissions.empty()) {
+        Transmission& tx = slot.transmissions.front();
+        tx.destination =
+            (tx.destination + 1) % topo.processor_count();
+        corrupted = true;
+        break;
+      }
+    }
+    if (corrupted) break;
+  }
+  EXPECT_TRUE(corrupted);
+  EXPECT_NE(verify_h_relation(topo, requests, plan), std::string());
+
+  // Dropping a request's packet entirely must also fail.
+  HRelationPlan truncated = server.last_window_plan();
+  if (!truncated.phases.empty()) {
+    truncated.phases.back().requests.clear();
+    truncated.phases.back().slots.clear();
+    EXPECT_NE(verify_h_relation(topo, requests, truncated),
+              std::string());
+  }
+}
+
+POPS_TEST(SubmitRejectsBadDemands) {
+  TrafficServer server(Topology(2, 2));
+  EXPECT_ABORTS(server.submit(make_demand(-1, 0)));
+  EXPECT_ABORTS(server.submit(make_demand(0, 4)));
+  EXPECT_ABORTS(server.submit(make_demand(0, 1, 0, -1)));
+}
+
+POPS_TEST(ServerRejectsBadConfig) {
+  ServerConfig degree;
+  degree.max_window_degree = 0;
+  EXPECT_ABORTS(TrafficServer(Topology(2, 2), degree));
+  ServerConfig count;
+  count.max_window_demands = 0;
+  EXPECT_ABORTS(TrafficServer(Topology(2, 2), count));
+}
+
+POPS_TEST(ClockAdvancesMonotonically) {
+  const Topology topo(4, 4);
+  TrafficServer server(topo);
+  std::uint64_t previous = server.now();
+  ArrivalConfig arrivals;
+  arrivals.process = ArrivalProcess::kBurstyOnOff;
+  arrivals.seed = 33;
+  ArrivalGenerator generator(topo, arrivals);
+  for (int window = 0; window < 20; ++window) {
+    while (server.stats().windows_routed < window + 1) {
+      server.submit(generator.next());
+    }
+    EXPECT_TRUE(server.now() > previous);
+    previous = server.now();
+  }
+}
+
+POPS_TEST(SoakKeepsScratchFootprintFlat) {
+  // The zero-allocation contract at system scale: after a warm-up,
+  // 1000+ further windows must not grow a single server-owned arena.
+  const Topology topo(4, 4);
+  ServerConfig config;
+  config.max_window_degree = 4;
+  config.max_window_demands = 128;
+  TrafficServer server(topo, config);
+  // The constructor primes every arena at the window caps, so the
+  // footprint is flat from birth — not merely after a lucky warm-up.
+  const ScratchFootprint birth = server.scratch_footprint();
+  ArrivalConfig arrivals;
+  arrivals.seed = 77;
+  ArrivalGenerator generator(topo, arrivals);
+  while (server.stats().windows_routed < 50) {
+    server.submit(generator.next());
+  }
+  const ScratchFootprint warm = server.scratch_footprint();
+  EXPECT_TRUE(warm.units > 0);
+  EXPECT_EQ(warm.units, birth.units);
+  while (server.stats().windows_routed < 1100) {
+    server.submit(generator.next());
+  }
+  server.flush();
+  EXPECT_EQ(server.scratch_footprint().units, warm.units);
+  EXPECT_TRUE(server.stats().windows_routed >= 1100);
+  EXPECT_EQ(server.stats().slots_executed, server.stats().budget_slots);
+}
+
+POPS_TEST(DelayHistogramPercentiles) {
+  DelayHistogram histogram;
+  EXPECT_EQ(histogram.percentile(0.5), std::uint64_t{0});
+  for (int i = 0; i < 90; ++i) histogram.record(0);
+  for (int i = 0; i < 9; ++i) histogram.record(5);   // bucket [4, 8)
+  histogram.record(100);                             // bucket [64, 128)
+  EXPECT_EQ(histogram.count, 100);
+  EXPECT_EQ(histogram.max, std::uint64_t{100});
+  EXPECT_EQ(histogram.percentile(0.50), std::uint64_t{0});
+  EXPECT_EQ(histogram.percentile(0.95), std::uint64_t{7});
+  EXPECT_EQ(histogram.percentile(1.0), std::uint64_t{127});
+}
+
+}  // namespace
+}  // namespace pops
