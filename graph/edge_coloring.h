@@ -23,6 +23,7 @@
 #include <string>
 
 #include "graph/bipartite_multigraph.h"
+#include "support/thread_annotations.h"
 
 namespace pops {
 
@@ -53,7 +54,11 @@ struct EdgeColoring {
 /// heap allocation (the RoutingEngine holds one per topology). Results
 /// are written into caller-provided EdgeColoring storage, whose
 /// capacity is likewise reused across calls.
-class EdgeColorer {
+///
+/// Thread-compatible, not thread-safe: the scratch tables make every
+/// call a mutation, so use one colorer per thread (see
+/// support/thread_annotations.h).
+class POPS_THREAD_COMPATIBLE EdgeColorer {
  public:
   /// Properly colors `graph` with max_degree colors into `out`
   /// (out.color is resized in place). The alternating-path backend

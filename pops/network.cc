@@ -57,6 +57,7 @@ void Network::load_packet(const Packet& packet) {
 }
 
 bool Network::execute(const std::vector<SlotPlan>& slots) {
+  ScopedAllocationBan ban("Network::execute", steady_banned_);
   for (const SlotPlan& slot : slots) {
     if (!execute_slot(slot)) return false;
   }
@@ -64,6 +65,7 @@ bool Network::execute(const std::vector<SlotPlan>& slots) {
 }
 
 bool Network::execute(const FlatSchedule& schedule) {
+  ScopedAllocationBan ban("Network::execute", steady_banned_);
   for (int s = 0; s < schedule.slot_count(); ++s) {
     if (!execute_slot(schedule.slot(s))) return false;
   }
@@ -82,13 +84,12 @@ bool Network::execute_slot(Span<const Transmission> transmissions) {
   // out against the optical model. ---
   for (const Transmission& t : transmissions) {
     if (t.source < 0 || t.source >= n) {
-      return fail(str_cat("slot ", slot_index, ": source processor ",
-                          t.source, " out of range"));
+      return fail("slot ", slot_index, ": source processor ", t.source,
+                  " out of range");
     }
     if (t.destination < 0 || t.destination >= n) {
-      return fail(str_cat("slot ", slot_index,
-                          ": destination processor ", t.destination,
-                          " out of range"));
+      return fail("slot ", slot_index, ": destination processor ",
+                  t.destination, " out of range");
     }
   }
 
@@ -104,10 +105,10 @@ bool Network::execute_slot(Span<const Transmission> transmissions) {
       packet_of_source_[as_size(t.source)] = t.packet;
       touched_sources_.push_back(t.source);
     } else if (packet_of_source_[as_size(t.source)] != t.packet) {
-      return fail(str_cat("slot ", slot_index, ": processor ", t.source,
-                          " transmits two different packets (",
-                          packet_of_source_[as_size(t.source)], " and ",
-                          t.packet, ")"));
+      return fail("slot ", slot_index, ": processor ", t.source,
+                  " transmits two different packets (",
+                  packet_of_source_[as_size(t.source)], " and ", t.packet,
+                  ")");
     }
     // One transmitter per coupler.
     if (coupler_stamp_[as_size(coupler)] != epoch_) {
@@ -115,16 +116,14 @@ bool Network::execute_slot(Span<const Transmission> transmissions) {
       source_of_coupler_[as_size(coupler)] = t.source;
       ++busy_couplers;
     } else if (source_of_coupler_[as_size(coupler)] != t.source) {
-      return fail(str_cat(
-          "slot ", slot_index, ": coupler c(", dst_group, ",", src_group,
-          ") oversubscribed by processors ",
-          source_of_coupler_[as_size(coupler)], " and ", t.source));
+      return fail("slot ", slot_index, ": coupler c(", dst_group, ",",
+                  src_group, ") oversubscribed by processors ",
+                  source_of_coupler_[as_size(coupler)], " and ", t.source);
     }
     // One tuned coupler per receiver.
     if (receiver_stamp_[as_size(t.destination)] == epoch_) {
-      return fail(str_cat("slot ", slot_index, ": processor ",
-                          t.destination,
-                          " tunes to more than one coupler"));
+      return fail("slot ", slot_index, ": processor ", t.destination,
+                  " tunes to more than one coupler");
     }
     receiver_stamp_[as_size(t.destination)] = epoch_;
   }
@@ -135,9 +134,9 @@ bool Network::execute_slot(Span<const Transmission> transmissions) {
     const int packet_id = packet_of_source_[as_size(source)];
     if (packet_id == -1) {
       if (buffer.size() != 1) {
-        return fail(str_cat("slot ", slot_index, ": processor ", source,
-                            " asked to send 'any' packet but holds ",
-                            buffer.size()));
+        return fail("slot ", slot_index, ": processor ", source,
+                    " asked to send 'any' packet but holds ",
+                    buffer.size());
       }
       buffer_index_of_source_[as_size(source)] = 0;
       continue;
@@ -150,8 +149,8 @@ bool Network::execute_slot(Span<const Transmission> transmissions) {
       }
     }
     if (found == as_int(buffer.size())) {
-      return fail(str_cat("slot ", slot_index, ": processor ", source,
-                          " does not hold packet ", packet_id));
+      return fail("slot ", slot_index, ": processor ", source,
+                  " does not hold packet ", packet_id);
     }
     buffer_index_of_source_[as_size(source)] = found;
   }
@@ -205,11 +204,6 @@ void Network::reserve_buffers(int per_processor) {
   for (auto& buffer : buffers_) {
     buffer.reserve(as_size(per_processor));
   }
-}
-
-bool Network::fail(const std::string& message) {
-  if (failure_.empty()) failure_ = message;
-  return false;
 }
 
 }  // namespace pops

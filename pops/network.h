@@ -27,9 +27,11 @@
 
 #include "perm/permutation.h"
 #include "pops/flat_plan.h"
+#include "support/alloc_guard.h"
 #include "support/check.h"
 #include "support/format.h"
 #include "support/span.h"
+#include "support/thread_annotations.h"
 
 namespace pops {
 
@@ -104,7 +106,7 @@ struct NetworkStats {
   }
 };
 
-class Network {
+class POPS_THREAD_COMPATIBLE Network {
  public:
   explicit Network(const Topology& topo);
 
@@ -154,14 +156,34 @@ class Network {
   /// window worst case so steady-state serving is allocation-free.
   void reserve_buffers(int per_processor);
 
+  /// Arms a ScopedAllocationBan around every subsequent execute()
+  /// call: once the owner has warmed/reserved the buffers, any heap
+  /// allocation while executing a schedule aborts under
+  /// POPS_ALLOC_GUARD builds. The RoutingEngine and TrafficServer arm
+  /// their internal simulators after their first verified run.
+  void ban_steady_allocations(bool banned) { steady_banned_ = banned; }
+
  private:
-  bool fail(const std::string& message);
+  /// Records the first failure and returns false. The message parts
+  /// are formatted lazily, under a ScopedAllocationAllow: composing a
+  /// rejection diagnostic allocates, and that must not trip an armed
+  /// execute() ban — the caller wants the model violation reported,
+  /// not the guard.
+  template <typename... Parts>
+  bool fail(const Parts&... parts) {
+    if (failure_.empty()) {
+      ScopedAllocationAllow allow;
+      failure_ = str_cat(parts...);
+    }
+    return false;
+  }
 
   Topology topo_;
   std::vector<std::vector<Packet>> buffers_;  // per processor
   int packet_count_ = 0;
   NetworkStats stats_;
   std::string failure_;
+  bool steady_banned_ = false;
 
   // Per-slot scratch arenas. An entry is valid only when its stamp
   // equals epoch_ (bumped once per execute_slot), so no clearing pass

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/alloc_guard.h"
+
 namespace pops {
 
 std::string to_string(RouteStrategy strategy) {
@@ -35,10 +37,15 @@ RoutingEngine::RoutingEngine(const Topology& topo,
   coupler_offset_.reserve(as_size(topo_.coupler_count() + 1));
   coupler_queue_.reserve(as_size(n));
   image_seen_stamp_.assign(as_size(n), 0);
+  zero_alloc_eligible_ =
+      options_.coloring == ColoringAlgorithm::kAlternatingPath ||
+      topo_.d() == 1;
 }
 
 const FlatSchedule& RoutingEngine::route_permutation(
     const Permutation& pi) {
+  ScopedAllocationBan ban("RoutingEngine::route_permutation",
+                          warm_theorem2_ && zero_alloc_eligible_);
   // The Permutation constructor already validated bijectivity.
   build_theorem2(Span<const int>(pi.images()));
   return theorem2_schedule_;
@@ -46,6 +53,8 @@ const FlatSchedule& RoutingEngine::route_permutation(
 
 const FlatSchedule& RoutingEngine::route_permutation(
     Span<const int> images) {
+  ScopedAllocationBan ban("RoutingEngine::route_permutation",
+                          warm_theorem2_ && zero_alloc_eligible_);
   const int n = topo_.processor_count();
   POPS_CHECK(images.count() == n,
              "route_permutation: image array does not fit the topology");
@@ -81,6 +90,7 @@ void RoutingEngine::build_theorem2(Span<const int> images) {
       theorem2_schedule_.push(Transmission{source, pi(source), source});
       intermediate_of_[as_size(source)] = source;
     }
+    warm_theorem2_ = true;
     return;
   }
 
@@ -141,9 +151,13 @@ void RoutingEngine::build_theorem2(Span<const int> images) {
 
   POPS_CHECK(theorem2_schedule_.slot_count() == theorem2_slots(topo_),
              "Theorem 2 schedule has the wrong number of slots");
+  warm_theorem2_ = true;
 }
 
 const FlatSchedule& RoutingEngine::route_direct(const Permutation& pi) {
+  // The direct builder never colors, so it is eligible regardless of
+  // the configured coloring backend.
+  ScopedAllocationBan ban("RoutingEngine::route_direct", warm_direct_);
   build_direct(pi);
   return direct_schedule_;
 }
@@ -195,18 +209,30 @@ void RoutingEngine::build_direct(const Permutation& pi) {
       direct_schedule_.push(Transmission{source, pi(source), source});
     }
   }
+  warm_direct_ = true;
 }
 
 const FlatSchedule& RoutingEngine::route_best(const Permutation& pi) {
+  ScopedAllocationBan ban("RoutingEngine::route_best",
+                          warm_direct_ && warm_theorem2_ && warm_verify_ &&
+                              zero_alloc_eligible_);
   build_direct(pi);
-  POPS_CHECK(delivers(direct_schedule_, pi),
-             str_cat("best_route: direct candidate failed verification: ",
-                     verification_failure()));
+  if (!delivers(direct_schedule_, pi)) {
+    // Cold failure path: composing the diagnostic allocates, and the
+    // abort must name the broken schedule, not trip the guard.
+    ScopedAllocationAllow allow;
+    POPS_CHECK(false,
+               str_cat("best_route: direct candidate failed verification: ",
+                       verification_failure()));
+  }
   build_theorem2(Span<const int>(pi.images()));
-  POPS_CHECK(
-      delivers(theorem2_schedule_, pi),
-      str_cat("best_route: Theorem 2 candidate failed verification: ",
-              verification_failure()));
+  if (!delivers(theorem2_schedule_, pi)) {
+    ScopedAllocationAllow allow;
+    POPS_CHECK(
+        false,
+        str_cat("best_route: Theorem 2 candidate failed verification: ",
+                verification_failure()));
+  }
   // Direct wins ties: same length, one hop per packet and no relay
   // buffering.
   if (direct_schedule_.slot_count() <=
@@ -220,10 +246,19 @@ const FlatSchedule& RoutingEngine::route_best(const Permutation& pi) {
 
 bool RoutingEngine::delivers(const FlatSchedule& schedule,
                              const Permutation& pi) {
-  if (!net_.has_value()) net_.emplace(topo_);
+  if (!net_.has_value()) {
+    // Constructing the simulator is the one allocating step of the
+    // portfolio path; it happens exactly once, on the (unbanned)
+    // warm-up call.
+    ScopedAllocationAllow allow;
+    net_.emplace(topo_);
+  }
   net_->reset();
   net_->load_permutation_traffic(pi);
-  return net_->execute(schedule) && net_->all_delivered();
+  const bool delivered = net_->execute(schedule) && net_->all_delivered();
+  warm_verify_ = true;
+  net_->ban_steady_allocations(zero_alloc_eligible_);
+  return delivered;
 }
 
 std::string RoutingEngine::verification_failure() const {

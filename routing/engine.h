@@ -33,6 +33,7 @@
 #include "pops/flat_plan.h"
 #include "pops/network.h"
 #include "routing/router.h"
+#include "support/thread_annotations.h"
 
 namespace pops {
 
@@ -59,7 +60,9 @@ inline bool operator!=(const ScratchFootprint& a,
   return !(a == b);
 }
 
-class RoutingEngine {
+// Thread-compatible, not thread-safe: one engine per thread (the
+// BatchRouter discipline); see support/thread_annotations.h.
+class POPS_THREAD_COMPATIBLE RoutingEngine {
  public:
   explicit RoutingEngine(const Topology& topo,
                          const RouterOptions& options = {});
@@ -104,6 +107,13 @@ class RoutingEngine {
 
   ScratchFootprint scratch_footprint() const;
 
+  /// True when the engine enforces the zero-allocation contract on its
+  /// route_* entry points under POPS_ALLOC_GUARD builds: the default
+  /// alternating-path coloring backend (or the trivial d == 1 case).
+  /// The divide-and-conquer backends build transient subgraphs inside
+  /// EdgeColorer::color, so their routes stay unguarded.
+  bool zero_alloc_eligible() const { return zero_alloc_eligible_; }
+
  private:
   void build_theorem2(Span<const int> images);
   void build_direct(const Permutation& pi);
@@ -116,6 +126,15 @@ class RoutingEngine {
 
   Topology topo_;
   RouterOptions options_;
+  bool zero_alloc_eligible_ = false;
+
+  // One warm-up call per strategy sizes that strategy's arenas; from
+  // the second call on, the entry point arms a ScopedAllocationBan on
+  // itself (when eligible), so the steady-state contract is enforced
+  // at runtime rather than inferred from footprint snapshots.
+  bool warm_theorem2_ = false;
+  bool warm_direct_ = false;
+  bool warm_verify_ = false;
 
   // --- Theorem 2 scratch ---
   BipartiteMultigraph h_;    // the packet multigraph H (g x g)

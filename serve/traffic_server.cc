@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "routing/bounds.h"
+#include "support/alloc_guard.h"
 #include "support/format.h"
 
 namespace pops {
@@ -53,39 +54,51 @@ TrafficServer::TrafficServer(const Topology& topo,
              "ServerConfig: max_window_degree must be >= 1");
   POPS_CHECK(config_.max_window_demands >= 1,
              "ServerConfig: max_window_demands must be >= 1");
+  zero_alloc_eligible_ = engine_.zero_alloc_eligible();
+  MutexLock lock(&mu_);
   const int n = topo_.processor_count();
   send_count_.assign(as_size(n), 0);
   recv_count_.assign(as_size(n), 0);
   image_.assign(as_size(n), -1);
   demand_of_source_.assign(as_size(n), -1);
   destination_used_.assign(as_size(n), 0);
-  demands_.reserve(as_size(config_.max_window_demands));
-  last_demands_.reserve(as_size(config_.max_window_demands));
-  phase_offsets_.reserve(as_size(config_.max_window_degree + 1));
-  phase_demands_.reserve(as_size(config_.max_window_demands));
-  phase_cursor_.reserve(as_size(config_.max_window_degree));
-  // A window of h phases filters h Theorem 2 schedules of at most 2n
-  // transmissions each.
-  window_schedule_.reserve(
-      2 * n * config_.max_window_degree,
-      h_relation_budget(topo_, config_.max_window_degree));
-  // No window holds more demands than the count cap, so the coloring
-  // never needs a larger color array, and the traffic graph never
-  // holds more edges (nor a vertex of higher degree than the cap).
-  coloring_.color.reserve(as_size(config_.max_window_demands));
-  traffic_.reserve_edges(
-      static_cast<int>(std::min<long long>(
-          config_.max_window_demands,
-          static_cast<long long>(n) * config_.max_window_degree)),
-      std::min(config_.max_window_degree, config_.max_window_demands));
-  // Peak buffer occupancy of a processor: its un-sent window sources
-  // plus its delivered packets (each at most the window degree) plus
-  // relayed packets in flight (drained within one phase, so at most
-  // one per phase slot).
-  const int degree =
-      std::min(config_.max_window_degree, config_.max_window_demands);
-  net_.reserve_buffers(2 * degree + theorem2_slots(topo_));
-  prime_scratch();
+  if (!config_.debug_shrink_reserves) {
+    demands_.reserve(as_size(config_.max_window_demands));
+    last_demands_.reserve(as_size(config_.max_window_demands));
+    phase_offsets_.reserve(as_size(config_.max_window_degree + 1));
+    phase_demands_.reserve(as_size(config_.max_window_demands));
+    phase_cursor_.reserve(as_size(config_.max_window_degree));
+    // A window of h phases filters h Theorem 2 schedules of at most 2n
+    // transmissions each.
+    window_schedule_.reserve(
+        2 * n * config_.max_window_degree,
+        h_relation_budget(topo_, config_.max_window_degree));
+    // No window holds more demands than the count cap, so the coloring
+    // never needs a larger color array, and the traffic graph never
+    // holds more edges (nor a vertex of higher degree than the cap).
+    coloring_.color.reserve(as_size(config_.max_window_demands));
+    traffic_.reserve_edges(
+        static_cast<int>(std::min<long long>(
+            config_.max_window_demands,
+            static_cast<long long>(n) * config_.max_window_degree)),
+        std::min(config_.max_window_degree, config_.max_window_demands));
+    // Peak buffer occupancy of a processor: its un-sent window sources
+    // plus its delivered packets (each at most the window degree) plus
+    // relayed packets in flight (drained within one phase, so at most
+    // one per phase slot).
+    const int degree =
+        std::min(config_.max_window_degree, config_.max_window_demands);
+    net_.reserve_buffers(2 * degree + theorem2_slots(topo_));
+    prime_scratch();
+  }
+  // From here on every window executes under the allocation ban (when
+  // the coloring backend is eligible). With debug_shrink_reserves the
+  // arenas were neither reserved nor primed, so under POPS_ALLOC_GUARD
+  // the first window must trip the guard — the seeded violation the
+  // negative tests rely on.
+  steady_ = zero_alloc_eligible_ || config_.debug_shrink_reserves;
+  net_.ban_steady_allocations(steady_ &&
+                              !config_.debug_shrink_reserves);
 }
 
 void TrafficServer::prime_scratch() {
@@ -103,9 +116,9 @@ void TrafficServer::prime_scratch() {
   for (int k = 0; k < degree; ++k) {
     demand.source = 0;
     demand.destination = k % n;
-    submit(demand);
+    submit_locked(demand);
   }
-  flush();
+  execute_window();
   const long long widest = std::min<long long>(
       config_.max_window_demands, static_cast<long long>(n) * h);
   long long submitted = 0;
@@ -113,11 +126,11 @@ void TrafficServer::prime_scratch() {
     for (int p = 0; p < n && submitted < widest; ++p) {
       demand.source = p;
       demand.destination = (p + r + 1) % n;
-      submit(demand);
+      submit_locked(demand);
       ++submitted;
     }
   }
-  flush();
+  execute_window();
   stats_ = ServerStats{};
   clock_ = 0;
   last_demands_.clear();
@@ -126,6 +139,11 @@ void TrafficServer::prime_scratch() {
 }
 
 void TrafficServer::submit(const Demand& demand) {
+  MutexLock lock(&mu_);
+  submit_locked(demand);
+}
+
+void TrafficServer::submit_locked(const Demand& demand) {
   const int n = topo_.processor_count();
   POPS_CHECK(demand.source >= 0 && demand.source < n,
              "TrafficServer::submit: source out of range");
@@ -151,18 +169,26 @@ void TrafficServer::submit(const Demand& demand) {
   window_max_arrival_ = std::max(window_max_arrival_, demand.arrival_tick);
   window_payload_ += demand.payload;
 
-  if (pending_demands() >= config_.max_window_demands) {
+  if (pending_demands_locked() >= config_.max_window_demands) {
     execute_window();
   }
 }
 
-void TrafficServer::flush() { execute_window(); }
+void TrafficServer::flush() {
+  MutexLock lock(&mu_);
+  execute_window();
+}
 
 void TrafficServer::execute_window() {
   if (demands_.empty()) return;
+  // The whole window pipeline — graph build, coloring, per-phase
+  // routing, simulation, counters — runs under the ban once the
+  // constructor primed the arenas: any steady-state allocation aborts
+  // in POPS_ALLOC_GUARD builds.
+  ScopedAllocationBan ban("TrafficServer::execute_window", steady_);
   const int n = topo_.processor_count();
   const int h = window_degree_;
-  const int demand_count = pending_demands();
+  const int demand_count = pending_demands_locked();
 
   // The traffic multigraph: one edge per demand (edge id == demand
   // id), maximum degree exactly h, so König properly colors it with h
@@ -243,9 +269,15 @@ void TrafficServer::execute_window() {
         Packet{e, demand.source, demand.destination, demand.payload, 0});
   }
   const bool executed = net_.execute(window_schedule_);
-  POPS_CHECK(executed, str_cat("TrafficServer: window rejected by the "
-                               "simulator: ",
-                               net_.failure()));
+  if (!executed) {
+    // Cold failure path: composing the abort diagnostic allocates and
+    // must not trip the window ban — the simulator's rejection is the
+    // failure to report.
+    ScopedAllocationAllow allow;
+    POPS_CHECK(false, str_cat("TrafficServer: window rejected by the "
+                              "simulator: ",
+                              net_.failure()));
+  }
   POPS_CHECK(net_.all_delivered(),
              "TrafficServer: window executed but left demands "
              "undelivered");
@@ -277,6 +309,7 @@ void TrafficServer::execute_window() {
 }
 
 std::vector<Request> TrafficServer::last_window_requests() const {
+  MutexLock lock(&mu_);
   std::vector<Request> requests;
   requests.reserve(last_demands_.size());
   for (const Demand& demand : last_demands_) {
@@ -286,6 +319,7 @@ std::vector<Request> TrafficServer::last_window_requests() const {
 }
 
 HRelationPlan TrafficServer::last_window_plan() const {
+  MutexLock lock(&mu_);
   HRelationPlan plan;
   plan.h = last_h_;
   if (last_h_ == 0) return plan;
@@ -312,6 +346,7 @@ HRelationPlan TrafficServer::last_window_plan() const {
 }
 
 ScratchFootprint TrafficServer::scratch_footprint() const {
+  MutexLock lock(&mu_);
   ScratchFootprint footprint = engine_.scratch_footprint();
   footprint.units +=
       demands_.capacity() + last_demands_.capacity() +

@@ -24,7 +24,16 @@
 // per-phase padding arrays, the filtered flat schedule, the simulator
 // — and rebuilds them in place per window. scratch_footprint() is the
 // aggregate capacity the soak tests compare across thousands of
-// windows.
+// windows; under POPS_ALLOC_GUARD builds the contract is additionally
+// enforced at runtime: every post-priming window executes inside a
+// ScopedAllocationBan.
+//
+// Unlike the engines below it, the server IS thread-safe: all mutable
+// state is guarded by one mutex (annotations checked by clang
+// -Wthread-safety), so open-loop generators on several threads can
+// submit into one shared server. Windows still close and route
+// serially under the lock — sharding the server across engines is the
+// ROADMAP's next step, and it inherits these annotations.
 #pragma once
 
 #include <array>
@@ -36,6 +45,8 @@
 #include "pops/patterns.h"
 #include "routing/engine.h"
 #include "routing/h_relation.h"
+#include "support/mutex.h"
+#include "support/thread_annotations.h"
 
 namespace pops {
 
@@ -48,6 +59,12 @@ struct ServerConfig {
   /// this many demands.
   int max_window_demands = 1024;
   RouterOptions router;
+  /// Test-only hook: skip the constructor's arena reserves and priming
+  /// windows but still arm the steady-state allocation ban. Under
+  /// POPS_ALLOC_GUARD the first real window then trips the guard —
+  /// the seeded violation test_alloc_guard uses to prove the ban is
+  /// live. Never set this in production code.
+  bool debug_shrink_reserves = false;
 };
 
 /// Power-of-two-bucket latency histogram: bucket k counts delays in
@@ -99,76 +116,113 @@ class TrafficServer {
 
   const Topology& topology() const { return topo_; }
   const ServerConfig& config() const { return config_; }
-  const ServerStats& stats() const { return stats_; }
+
+  /// Snapshot of the counters, by value: a reference into guarded
+  /// state would escape the lock.
+  ServerStats stats() const POPS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
 
   /// The server clock, in ticks (slots executed so far, gated by
   /// arrival times).
-  std::uint64_t now() const { return clock_; }
+  std::uint64_t now() const POPS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return clock_;
+  }
 
   /// Enqueues one demand into the open window, closing and executing
   /// the window first when the demand would breach the degree cap, and
   /// after adding when the count cap is reached.
-  void submit(const Demand& demand);
+  void submit(const Demand& demand) POPS_EXCLUDES(mu_);
 
   /// Closes and executes the open window; a no-op when it is empty.
-  void flush();
+  void flush() POPS_EXCLUDES(mu_);
 
   /// Demands waiting in the open window.
-  int pending_demands() const { return as_int(demands_.size()); }
+  int pending_demands() const POPS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return pending_demands_locked();
+  }
   /// Degree (max per-processor send/receive count) of the open window.
-  int pending_degree() const { return window_degree_; }
+  int pending_degree() const POPS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return window_degree_;
+  }
 
   /// Degree of the last executed window (0 before the first window).
-  int last_window_degree() const { return last_h_; }
+  int last_window_degree() const POPS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return last_h_;
+  }
   /// Slot count of the last executed window.
-  int last_window_slots() const { return window_schedule_.slot_count(); }
+  int last_window_slots() const POPS_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return window_schedule_.slot_count();
+  }
 
   /// Debug/verification accessors: the last executed window as the
   /// routing/h_relation types, so tests can feed the server's output
   /// through verify_h_relation. These materialize fresh vectors and
   /// are not part of the serving hot path.
-  std::vector<Request> last_window_requests() const;
-  HRelationPlan last_window_plan() const;
+  std::vector<Request> last_window_requests() const POPS_EXCLUDES(mu_);
+  HRelationPlan last_window_plan() const POPS_EXCLUDES(mu_);
 
   /// Aggregate capacity of every server-owned arena (engine and
   /// simulator included). Two equal footprints around a stretch of
   /// serving mean no steady-state allocation grew.
-  ScratchFootprint scratch_footprint() const;
+  ScratchFootprint scratch_footprint() const POPS_EXCLUDES(mu_);
 
  private:
-  void execute_window();
-  void prime_scratch();
+  // The mutex is not recursive: public entry points lock once and call
+  // only the *_locked / REQUIRES-annotated private layer below.
+  void submit_locked(const Demand& demand) POPS_REQUIRES(mu_);
+  void execute_window() POPS_REQUIRES(mu_);
+  void prime_scratch() POPS_REQUIRES(mu_);
+  int pending_demands_locked() const POPS_REQUIRES(mu_) {
+    return as_int(demands_.size());
+  }
 
+  // Immutable after construction (no guard needed).
   Topology topo_;
   ServerConfig config_;
-  ServerStats stats_;
-  std::uint64_t clock_ = 0;
+  bool zero_alloc_eligible_ = false;
+
+  mutable Mutex mu_;
+
+  ServerStats stats_ POPS_GUARDED_BY(mu_);
+  std::uint64_t clock_ POPS_GUARDED_BY(mu_) = 0;
 
   // --- Open window ---
-  std::vector<Demand> demands_;
-  std::vector<int> send_count_;  // per processor, this window
-  std::vector<int> recv_count_;  // per processor, this window
-  int window_degree_ = 0;
-  std::uint64_t window_max_arrival_ = 0;
-  long long window_payload_ = 0;
+  std::vector<Demand> demands_ POPS_GUARDED_BY(mu_);
+  std::vector<int> send_count_ POPS_GUARDED_BY(mu_);  // per processor
+  std::vector<int> recv_count_ POPS_GUARDED_BY(mu_);  // per processor
+  int window_degree_ POPS_GUARDED_BY(mu_) = 0;
+  std::uint64_t window_max_arrival_ POPS_GUARDED_BY(mu_) = 0;
+  long long window_payload_ POPS_GUARDED_BY(mu_) = 0;
 
   // --- Routing scratch (rebuilt in place per window) ---
-  RoutingEngine engine_;
-  BipartiteMultigraph traffic_;  // n x n, one edge per demand
-  EdgeColorer colorer_;
-  EdgeColoring coloring_;          // h-coloring of the traffic graph
-  std::vector<int> phase_offsets_;  // CSR over phases, h + 1 entries
-  std::vector<int> phase_demands_;  // demand ids bucketed by phase
-  std::vector<int> phase_cursor_;   // counting-sort fill cursors
-  std::vector<int> image_;             // padded permutation of a phase
-  std::vector<int> demand_of_source_;  // source -> demand id, per phase
-  std::vector<char> destination_used_;
-  FlatSchedule window_schedule_;  // filtered, demand-id packet names
-  Network net_;
+  RoutingEngine engine_ POPS_GUARDED_BY(mu_);
+  BipartiteMultigraph traffic_ POPS_GUARDED_BY(mu_);  // one edge/demand
+  EdgeColorer colorer_ POPS_GUARDED_BY(mu_);
+  EdgeColoring coloring_ POPS_GUARDED_BY(mu_);  // h-coloring of traffic
+  std::vector<int> phase_offsets_ POPS_GUARDED_BY(mu_);  // CSR, h + 1
+  std::vector<int> phase_demands_ POPS_GUARDED_BY(mu_);  // by phase
+  std::vector<int> phase_cursor_ POPS_GUARDED_BY(mu_);   // sort cursors
+  std::vector<int> image_ POPS_GUARDED_BY(mu_);  // padded permutation
+  std::vector<int> demand_of_source_ POPS_GUARDED_BY(mu_);
+  std::vector<char> destination_used_ POPS_GUARDED_BY(mu_);
+  FlatSchedule window_schedule_ POPS_GUARDED_BY(mu_);  // filtered
+  Network net_ POPS_GUARDED_BY(mu_);
 
   // --- Last executed window (for the debug accessors) ---
-  std::vector<Demand> last_demands_;
-  int last_h_ = 0;
+  std::vector<Demand> last_demands_ POPS_GUARDED_BY(mu_);
+  int last_h_ POPS_GUARDED_BY(mu_) = 0;
+
+  // Armed after priming: every later execute_window runs inside a
+  // ScopedAllocationBan (POPS_ALLOC_GUARD builds abort on any heap
+  // allocation there).
+  bool steady_ POPS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace pops

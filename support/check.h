@@ -16,12 +16,21 @@
 namespace pops {
 namespace detail {
 
-[[noreturn]] inline void check_fail(const std::string& message,
-                                    const char* file, int line) {
+[[noreturn]] inline void check_fail(const char* message, const char* file,
+                                    int line) {
   std::fprintf(stderr, "POPS_CHECK failed at %s:%d: %s\n", file, line,
-               message.c_str());
+               message);
   std::fflush(stderr);
   std::abort();
+}
+
+// String-literal messages resolve to the const char* overload above,
+// which performs no heap allocation — a POPS_CHECK firing inside a
+// ScopedAllocationBan (support/alloc_guard.h) must report the real
+// failure, not trip the guard while constructing its own message.
+[[noreturn]] inline void check_fail(const std::string& message,
+                                    const char* file, int line) {
+  check_fail(message.c_str(), file, line);
 }
 
 }  // namespace detail

@@ -9,6 +9,7 @@
 #include "routing/engine.h"
 #include "routing/portfolio.h"
 #include "routing/verify.h"
+#include "support/alloc_guard.h"
 #include "support/prng.h"
 #include "tests/testing.h"
 
@@ -91,10 +92,13 @@ POPS_TEST(EngineDirectAndBestAgreeWithWrappers) {
 }
 
 POPS_TEST(EngineSteadyStateNeverGrowsScratch) {
-  // The zero-allocation contract: after one warm-up call per strategy,
-  // routing any further permutation must not grow any engine-owned
-  // arena — equal scratch footprints before and after every call mean
-  // no vector reallocated, i.e. no steady-state heap allocation.
+  // The zero-allocation contract, checked both ways: equal scratch
+  // footprints before and after every call (no arena ever reallocates)
+  // AND — in POPS_ALLOC_GUARD builds — a ScopedAllocationBan over the
+  // whole steady loop, which additionally aborts on transient
+  // allocate-free pairs that a capacity diff cannot see. Permutations
+  // are generated before the ban: building a Permutation allocates by
+  // design.
   Rng rng(74);
   for (const auto& [d, g] :
        {std::pair{1, 8}, {4, 4}, {8, 3}, {3, 8}, {16, 16}}) {
@@ -106,10 +110,14 @@ POPS_TEST(EngineSteadyStateNeverGrowsScratch) {
     engine.route_best(Permutation::random(n, rng));
     const ScratchFootprint warm = engine.scratch_footprint();
     EXPECT_TRUE(warm.units > 0);
+    std::vector<Permutation> trials;
     for (int trial = 0; trial < 8; ++trial) {
-      const Permutation pi = trial % 2 == 0
-                                 ? Permutation::random(n, rng)
-                                 : group_rotation(d, g, trial % g);
+      trials.push_back(trial % 2 == 0
+                           ? Permutation::random(n, rng)
+                           : group_rotation(d, g, trial % g));
+    }
+    ScopedAllocationBan ban("test: engine steady state");
+    for (const Permutation& pi : trials) {
       engine.route_permutation(pi);
       EXPECT_TRUE(engine.scratch_footprint() == warm);
       engine.route_direct(pi);

@@ -9,6 +9,7 @@
 #include "pops/patterns.h"
 #include "routing/bounds.h"
 #include "routing/verify.h"
+#include "support/alloc_guard.h"
 #include "tests/testing.h"
 
 namespace pops {
@@ -224,10 +225,18 @@ POPS_TEST(SoakKeepsScratchFootprintFlat) {
   const ScratchFootprint warm = server.scratch_footprint();
   EXPECT_TRUE(warm.units > 0);
   EXPECT_EQ(warm.units, birth.units);
-  while (server.stats().windows_routed < 1100) {
-    server.submit(generator.next());
+  {
+    // The 1000+-window steady stretch also runs inside an explicit
+    // allocation ban: in POPS_ALLOC_GUARD builds any heap activity in
+    // the generator, admission control, routing, or simulation aborts
+    // outright — transient allocations included, which the capacity
+    // comparison below cannot see.
+    ScopedAllocationBan ban("test: traffic soak steady state");
+    while (server.stats().windows_routed < 1100) {
+      server.submit(generator.next());
+    }
+    server.flush();
   }
-  server.flush();
   EXPECT_EQ(server.scratch_footprint().units, warm.units);
   EXPECT_TRUE(server.stats().windows_routed >= 1100);
   EXPECT_EQ(server.stats().slots_executed, server.stats().budget_slots);

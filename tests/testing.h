@@ -32,6 +32,14 @@ int run_all_tests();
 /// killing the test binary.
 bool dies_by_abort(const std::function<void()>& body);
 
+/// As above, but captures the child's stderr (the abort diagnostic)
+/// into *message instead of discarding it, so EXPECT_ABORTS_WITH can
+/// assert *which* check fired. *message is filled on every outcome —
+/// on a missed abort it holds whatever the child printed, which the
+/// failure report shows.
+bool dies_by_abort(const std::function<void()>& body,
+                   std::string* message);
+
 }  // namespace pops::testing
 
 #define POPS_TEST(name)                                              \
@@ -83,5 +91,26 @@ bool dies_by_abort(const std::function<void()>& body);
       ::pops::testing::report_failure(                               \
           __FILE__, __LINE__,                                        \
           "expected POPS_CHECK abort: " #statement);                 \
+    }                                                                \
+  } while (false)
+
+/// Like EXPECT_ABORTS, but additionally requires the abort diagnostic
+/// (the child's stderr) to contain `substring` — so a negative test
+/// pins down which contract fired, not merely that something did.
+#define EXPECT_ABORTS_WITH(statement, substring)                     \
+  do {                                                               \
+    std::string expect_aborts_message;                               \
+    const bool expect_aborts_died = ::pops::testing::dies_by_abort(  \
+        [&] { statement; }, &expect_aborts_message);                 \
+    if (!expect_aborts_died) {                                       \
+      ::pops::testing::report_failure(                               \
+          __FILE__, __LINE__,                                        \
+          "expected POPS_CHECK abort: " #statement);                 \
+    } else if (expect_aborts_message.find(substring) ==              \
+               std::string::npos) {                                  \
+      ::pops::testing::report_failure(                               \
+          __FILE__, __LINE__,                                        \
+          std::string("abort message missing \"") + (substring) +    \
+              "\"; child stderr was: " + expect_aborts_message);     \
     }                                                                \
   } while (false)

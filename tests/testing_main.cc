@@ -31,18 +31,49 @@ void report_failure(const std::string& file, int line,
 }
 
 bool dies_by_abort(const std::function<void()>& body) {
+  return dies_by_abort(body, nullptr);
+}
+
+bool dies_by_abort(const std::function<void()>& body,
+                   std::string* message) {
   std::fflush(nullptr);
+  int fds[2] = {-1, -1};
+  if (message != nullptr && pipe(fds) != 0) return false;
   const pid_t pid = fork();
-  if (pid < 0) return false;  // fork failed: report as "did not abort"
+  if (pid < 0) {  // fork failed: report as "did not abort"
+    if (message != nullptr) {
+      close(fds[0]);
+      close(fds[1]);
+    }
+    return false;
+  }
   if (pid == 0) {
     // Child: the POPS_CHECK message is expected — keep it out of the
-    // test log. _exit skips atexit handlers (and sanitizer leak
-    // checks) so a body that wrongly returns exits cleanly with 0.
-    if (std::freopen("/dev/null", "w", stderr) == nullptr) {
+    // test log (or hand it to the parent through the pipe when the
+    // caller wants to match it). _Exit skips atexit handlers (and
+    // sanitizer leak checks) so a body that wrongly returns exits
+    // cleanly with 0.
+    if (message != nullptr) {
+      dup2(fds[1], STDERR_FILENO);
+      close(fds[0]);
+      close(fds[1]);
+    } else if (std::freopen("/dev/null", "w", stderr) == nullptr) {
       // stderr stays noisy; the verdict is unaffected.
     }
     body();
     std::_Exit(0);
+  }
+  if (message != nullptr) {
+    // Drain to EOF before reaping: the child's death closes the write
+    // end, so this cannot block forever.
+    close(fds[1]);
+    message->clear();
+    char buffer[4096];
+    ssize_t got = 0;
+    while ((got = read(fds[0], buffer, sizeof buffer)) > 0) {
+      message->append(buffer, static_cast<std::size_t>(got));
+    }
+    close(fds[0]);
   }
   int status = 0;
   if (waitpid(pid, &status, 0) != pid) return false;
