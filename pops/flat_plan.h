@@ -50,8 +50,10 @@ class FlatSchedule {
   /// Opens a new (initially empty) slot; push() appends to it.
   void begin_slot() { offsets_.push_back(as_int(transmissions_.size())); }
 
-  /// Appends a transmission to the currently open slot.
-  void push(const Transmission& transmission) {
+  /// Appends a transmission to the currently open slot. By value: a
+  /// Transmission is three ints, cheaper in registers than behind a
+  /// pointer.
+  void push(Transmission transmission) {
     POPS_CHECK(slot_count() > 0, "FlatSchedule::push without a slot");
     transmissions_.push_back(transmission);
     offsets_.back() = as_int(transmissions_.size());

@@ -45,7 +45,7 @@ void Network::load_permutation_traffic(const Permutation& pi) {
   }
 }
 
-void Network::load_packet(const Packet& packet) {
+void Network::load_packet(Packet packet) {
   POPS_CHECK(packet.source >= 0 &&
                  packet.source < topo_.processor_count(),
              "load_packet: source out of range");
@@ -141,14 +141,15 @@ bool Network::execute_slot(Span<const Transmission> transmissions) {
       buffer_index_of_source_[as_size(source)] = 0;
       continue;
     }
-    int found = as_int(buffer.size());
-    for (int i = 0; i < as_int(buffer.size()); ++i) {
+    const int buffer_count = as_int(buffer.size());
+    int found = buffer_count;
+    for (int i = 0; i < buffer_count; ++i) {
       if (buffer[as_size(i)].id == packet_id) {
         found = i;
         break;
       }
     }
-    if (found == as_int(buffer.size())) {
+    if (found == buffer_count) {
       return fail("slot ", slot_index, ": processor ", source,
                   " does not hold packet ", packet_id);
     }
