@@ -3,8 +3,8 @@
 // Direct routing needs max-demand slots: ~d/g + O(sqrt) for random
 // permutations (balls into bins) but exactly d for adversarial
 // (group-block) traffic. Theorem 2 charges a flat 2*ceil(d/g). The table
-// sweeps d/g and shows who wins where; the crossover is the point of the
-// experiment:
+// sweeps the tier's (d, g) grid and shows who wins where; the crossover
+// is the point of the experiment:
 //   * random traffic, d >> g: direct wins (max demand ~ d/g < 2*ceil(d/g));
 //   * random traffic, d <= g: direct usually wins or ties at ~2 slots;
 //   * adversarial traffic: direct loses by up to a factor g/2.
@@ -34,9 +34,8 @@ void print_tables() {
   Table table({"topology", "thm2", "direct random (avg of 5)",
                "direct reversal", "direct group-rot", "winner random",
                "winner adversarial"});
-  for (const auto& [d, g] : {std::pair{2, 16}, {4, 16}, {16, 16}, {32, 8},
-                             {64, 8}, {64, 4}, {16, 2}}) {
-    const Topology topo(d, g);
+  for (const GridPoint point : tier().grid) {
+    const Topology topo(point.d, point.g);
     const int n = topo.processor_count();
     const int thm2 = theorem2_slots(topo);
 
@@ -47,8 +46,8 @@ void print_tables() {
     direct_random /= 5;
 
     const int direct_reversal = direct_verified(topo, vector_reversal(n));
-    const int direct_rot =
-        direct_verified(topo, group_rotation(d, g, 1));
+    const int direct_rot = direct_verified(
+        topo, group_rotation(point.d, point.g, point.g > 1 ? 1 : 0));
 
     table.add(topo.to_string(), thm2, format_double(direct_random, 1),
               direct_reversal, direct_rot,
@@ -67,8 +66,12 @@ void print_tables() {
   {
     Table portfolio_table({"topology", "traffic", "strategy", "slots",
                            "thm2", "direct"});
-    for (const auto& [d, g] : {std::pair{2, 16}, {16, 16}, {64, 4}}) {
-      const Topology topo(d, g);
+    // Smallest, middle, and largest tier point: enough to show the
+    // strategy flip without repeating the whole sweep.
+    const std::vector<GridPoint>& grid = tier().grid;
+    for (const GridPoint point :
+         {grid.front(), grid[grid.size() / 2], grid.back()}) {
+      const Topology topo(point.d, point.g);
       const int n = topo.processor_count();
       struct Case {
         const char* name;
@@ -77,7 +80,8 @@ void print_tables() {
       const Case cases[] = {
           {"random", Permutation::random(n, rng)},
           {"reversal", vector_reversal(n)},
-          {"group-rot", group_rotation(d, g, 1)},
+          {"group-rot",
+           group_rotation(point.d, point.g, point.g > 1 ? 1 : 0)},
       };
       for (const auto& c : cases) {
         const PortfolioPlan plan = best_route(topo, c.pi);
@@ -96,12 +100,15 @@ void print_tables() {
 
   std::cout << "=== E7b: one-slot routable fraction of random "
                "permutations ===\n";
-  Table frac({"topology", "routable/1000"});
+  const int trials = tier().random_trials;
+  Table frac({"topology", str_cat("routable/", trials)});
+  // The one-slot class only exists at tiny d; the shapes stay fixed and
+  // the tier scales how hard we sample them.
   for (const auto& [d, g] : {std::pair{2, 4}, {2, 8}, {3, 8}, {4, 8},
                              {2, 16}, {4, 16}}) {
     const Topology topo(d, g);
     int count = 0;
-    for (int t = 0; t < 1000; ++t) {
+    for (int t = 0; t < trials; ++t) {
       const Permutation pi =
           Permutation::random(topo.processor_count(), rng);
       if (route_direct(topo, pi).max_demand <= 1) ++count;
@@ -122,10 +129,21 @@ void BM_DirectRoute(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(route_direct(topo, pi));
   }
+  state.SetItemsProcessed(state.iterations());  // permutations routed
+  state.counters["perms_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_DirectRoute)->Args({16, 16})->Args({64, 8});
+
+void register_tier_benches() {
+  auto* direct =
+      benchmark::RegisterBenchmark("BM_DirectRoute", BM_DirectRoute);
+  for (const GridPoint point : tier().grid) {
+    direct->Args({point.d, point.g});
+  }
+}
 
 }  // namespace
 }  // namespace pops::bench
 
-POPSNET_BENCH_MAIN(pops::bench::print_tables)
+POPSNET_BENCH_MAIN(pops::bench::print_tables,
+                   pops::bench::register_tier_benches)

@@ -4,13 +4,24 @@
 // first, then runs its google-benchmark timings. All schedules that feed a
 // table are executed on the strict simulator and verified — a table row is
 // only printed for a verified run.
+//
+// Sizes come from the named tier registry (bench/tiers.h). The tier is
+// selected exactly once, before anything sized runs, by init_tier():
+// the --tier= flag wins, then the POPS_BENCH_TIER env var, then the
+// `fresh` default — one entry point for every bench binary, so
+// `POPS_BENCH_TIER=small ./bench_x` and `./bench_x --tier=small` are
+// interchangeable and scripts/bench_tier.sh can drive the whole wired
+// manifest at any tier.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
+#include "bench/tiers.h"
 #include "routing/router.h"
 #include "routing/verify.h"
 #include "support/check.h"
@@ -28,17 +39,48 @@ inline int verified_slot_count(const Topology& topo, const Permutation& pi,
   return plan.slot_count();
 }
 
-/// Standard main body: print the table, then run benchmarks.
-#define POPSNET_BENCH_MAIN(print_tables)                       \
-  int main(int argc, char** argv) {                            \
-    print_tables();                                            \
-    ::benchmark::Initialize(&argc, argv);                      \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
-      return 1;                                                \
-    }                                                          \
-    ::benchmark::RunSpecifiedBenchmarks();                     \
-    ::benchmark::Shutdown();                                   \
-    return 0;                                                  \
+/// Resolves the active tier from `--tier=<name>` (stripped from argv so
+/// benchmark::Initialize never sees it) or POPS_BENCH_TIER, defaulting
+/// to `fresh`. Aborts on an unknown tier name. Prints the selection so
+/// every table artifact records which tier produced it.
+inline void init_tier(int* argc, char** argv) {
+  const char* flag = nullptr;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--tier=", 7) == 0) {
+      flag = argv[i] + 7;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  const char* env = std::getenv("POPS_BENCH_TIER");
+  if (flag != nullptr && *flag != '\0') {
+    set_tier(flag);
+  } else if (env != nullptr && *env != '\0') {
+    set_tier(env);
+  }
+  std::cout << "bench tier: " << tier().name << " (" << tier().description
+            << ")\n\n";
+}
+
+/// Standard main body: resolve the tier, print the table, register the
+/// tier-sized benchmarks, then run them. `register_tier_benches` is
+/// each binary's benchmark::RegisterBenchmark() hook — registration is
+/// dynamic because the Args grids depend on the tier chosen at
+/// runtime, which the static BENCHMARK() macro cannot express.
+#define POPSNET_BENCH_MAIN(print_tables, register_tier_benches)  \
+  int main(int argc, char** argv) {                              \
+    ::pops::bench::init_tier(&argc, argv);                       \
+    print_tables();                                              \
+    ::benchmark::Initialize(&argc, argv);                        \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {  \
+      return 1;                                                  \
+    }                                                            \
+    register_tier_benches();                                     \
+    ::benchmark::RunSpecifiedBenchmarks();                       \
+    ::benchmark::Shutdown();                                     \
+    return 0;                                                    \
   }
 
 }  // namespace pops::bench

@@ -1,8 +1,8 @@
 // Experiment E4 — ablation of the 1-factorization bottleneck itself.
 //
-// Times the three edge-coloring backends on random Delta-regular bipartite
-// multigraphs over (n, Delta) sweeps, reporting ns/edge. This isolates the
-// Remark 1 cost from the rest of the routing pipeline.
+// Times the edge-coloring backends on random Delta-regular bipartite
+// multigraphs over the tier's (n, Delta) sweep, reporting ns/edge. This
+// isolates the Remark 1 cost from the rest of the routing pipeline.
 #include "bench_common.h"
 #include "graph/edge_coloring.h"
 #include "graph/euler_split.h"
@@ -39,17 +39,16 @@ void print_tables() {
   std::cout << "=== E4: edge coloring, ns/edge on Delta-regular graphs ===\n";
   Table table({"n", "Delta", "edges", "alternating-path", "euler-split",
                "matching-peel", "circuit-peel"});
-  for (const int n : {32, 128, 512}) {
-    for (const int degree : {4, 16, 64}) {
-      const BipartiteMultigraph g = random_regular(n, degree, rng);
-      std::vector<std::string> cells{std::to_string(n),
-                                     std::to_string(degree),
-                                     std::to_string(g.edge_count())};
-      for (const auto algorithm : kAllColoringAlgorithms) {
-        cells.push_back(format_double(ns_per_edge(g, algorithm), 0));
-      }
-      table.add_row(std::move(cells));
+  for (const ColoringPoint point : tier().coloring_grid) {
+    const BipartiteMultigraph g =
+        random_regular(point.n, point.degree, rng);
+    std::vector<std::string> cells{std::to_string(point.n),
+                                   std::to_string(point.degree),
+                                   std::to_string(g.edge_count())};
+    for (const auto algorithm : kAllColoringAlgorithms) {
+      cells.push_back(format_double(ns_per_edge(g, algorithm), 0));
     }
+    table.add_row(std::move(cells));
   }
   table.print(std::cout);
   std::cout << "Expected shape: per-edge cost of euler-split grows ~log "
@@ -70,13 +69,6 @@ void BM_EdgeColoring(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * g.edge_count());
   state.SetLabel(to_string(algorithm));
 }
-BENCHMARK(BM_EdgeColoring)
-    ->Args({64, 8, 0})
-    ->Args({64, 8, 1})
-    ->Args({64, 8, 2})
-    ->Args({256, 16, 0})
-    ->Args({256, 16, 1})
-    ->Args({256, 16, 2});
 
 void BM_EulerSplitOnly(benchmark::State& state) {
   Rng rng(46);
@@ -88,7 +80,6 @@ void BM_EulerSplitOnly(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * g.edge_count());
 }
-BENCHMARK(BM_EulerSplitOnly)->Args({256, 16})->Args({1024, 8});
 
 void BM_PerfectMatching(benchmark::State& state) {
   Rng rng(47);
@@ -98,10 +89,28 @@ void BM_PerfectMatching(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(maximum_matching(g));
   }
+  state.SetItemsProcessed(state.iterations());  // matchings found
 }
-BENCHMARK(BM_PerfectMatching)->Args({256, 8})->Args({1024, 4});
+
+void register_tier_benches() {
+  auto* coloring =
+      benchmark::RegisterBenchmark("BM_EdgeColoring", BM_EdgeColoring);
+  auto* euler = benchmark::RegisterBenchmark("BM_EulerSplitOnly",
+                                             BM_EulerSplitOnly);
+  auto* matching = benchmark::RegisterBenchmark("BM_PerfectMatching",
+                                                BM_PerfectMatching);
+  for (const ColoringPoint point : tier().coloring_grid) {
+    for (const auto algorithm : kAllColoringAlgorithms) {
+      coloring->Args(
+          {point.n, point.degree, static_cast<int>(algorithm)});
+    }
+    euler->Args({point.n, point.degree});
+    matching->Args({point.n, point.degree});
+  }
+}
 
 }  // namespace
 }  // namespace pops::bench
 
-POPSNET_BENCH_MAIN(pops::bench::print_tables)
+POPSNET_BENCH_MAIN(pops::bench::print_tables,
+                   pops::bench::register_tier_benches)

@@ -4,7 +4,7 @@
 // König edge coloring into h partial permutations (the decomposition uses
 // the same coloring substrate as Theorem 1), so it routes in
 // h * 2*ceil(d/g) slots (h when d = 1). The table verifies the budget and
-// delivery across shapes and h values.
+// delivery across the tier's (d, g) grid and h values.
 #include "bench_common.h"
 #include "routing/h_relation.h"
 #include "support/prng.h"
@@ -29,9 +29,9 @@ void print_tables() {
   Rng rng(10);
   Table table({"topology", "h", "packets", "phases", "slots", "budget",
                "verified"});
-  for (const auto& [d, g] : {std::pair{1, 8}, {4, 4}, {8, 4}, {4, 8}}) {
-    const Topology topo(d, g);
-    for (const int h : {1, 2, 4, 8}) {
+  for (const GridPoint point : tier().grid) {
+    const Topology topo(point.d, point.g);
+    for (const int h : tier().h_values) {
       const auto requests = random_relation(topo, h, rng);
       const HRelationPlan plan = route_h_relation(topo, requests);
       const std::string failure = verify_h_relation(topo, requests, plan);
@@ -58,13 +58,32 @@ void BM_RouteHRelation(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<long long>(requests.size()));
+  state.counters["demands_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(requests.size()),
+      benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_RouteHRelation)
-    ->Args({8, 8, 2})
-    ->Args({8, 8, 8})
-    ->Args({16, 16, 4});
+
+void register_tier_benches() {
+  auto* route = benchmark::RegisterBenchmark("BM_RouteHRelation",
+                                             BM_RouteHRelation);
+  // The full grid at the middle h, plus the h sweep on the middle
+  // topology: h and (d, g) scale independently, so the cross product
+  // would only repeat what the two slices already show.
+  const std::vector<GridPoint>& grid = tier().grid;
+  const std::vector<int>& h_values = tier().h_values;
+  const int mid_h = h_values[h_values.size() / 2];
+  for (const GridPoint point : grid) {
+    route->Args({point.d, point.g, mid_h});
+  }
+  const GridPoint mid = grid[grid.size() / 2];
+  for (const int h : h_values) {
+    if (h != mid_h) route->Args({mid.d, mid.g, h});
+  }
+}
 
 }  // namespace
 }  // namespace pops::bench
 
-POPSNET_BENCH_MAIN(pops::bench::print_tables)
+POPSNET_BENCH_MAIN(pops::bench::print_tables,
+                   pops::bench::register_tier_benches)

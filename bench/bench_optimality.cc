@@ -5,6 +5,7 @@
 //   derangements            : LB = ceil(d/g), ratio <= 2       (Prop 1)
 //   group-block, group-moving: LB = 2*ceil(d/g), ratio = 1     (Prop 2)
 //   group-block, group-fixed : LB = 2*ceil(d/(g+1))            (Prop 3)
+// The (d, g) shapes come from the active tier's grid.
 #include "bench_common.h"
 #include "perm/families.h"
 #include "routing/bounds.h"
@@ -30,15 +31,18 @@ void print_tables() {
   std::cout << "=== E5: lower bounds vs. measured Theorem 2 slots ===\n";
   Rng rng(5);
   Table table({"class", "topology", "lower bound", "measured", "ratio"});
-  for (const auto& [d, g] :
-       {std::pair{4, 4}, {8, 4}, {16, 4}, {12, 3}, {4, 8}, {32, 8}}) {
+  for (const GridPoint point : tier().grid) {
+    const int d = point.d;
+    const int g = point.g;
     const Topology topo(d, g);
     const int n = topo.processor_count();
 
-    add_row(table, "derangement (Prop 1)", topo,
-            Permutation::random_derangement(n, rng));
+    if (n > 1) {
+      add_row(table, "derangement (Prop 1)", topo,
+              Permutation::random_derangement(n, rng));
+    }
     add_row(table, "group-block moving (Prop 2)", topo,
-            group_rotation(d, g, 1));
+            group_rotation(d, g, g > 1 ? 1 : 0));
     // Reversal is a moving group-block only for even g: odd g leaves
     // the middle group in place, so Prop 2 does not apply there.
     add_row(table,
@@ -67,10 +71,19 @@ void BM_LowerBound(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(lower_bound_slots(topo, pi));
   }
+  state.SetItemsProcessed(state.iterations());  // bounds computed
 }
-BENCHMARK(BM_LowerBound)->Args({16, 16})->Args({64, 8});
+
+void register_tier_benches() {
+  auto* bound =
+      benchmark::RegisterBenchmark("BM_LowerBound", BM_LowerBound);
+  for (const GridPoint point : tier().grid) {
+    bound->Args({point.d, point.g});
+  }
+}
 
 }  // namespace
 }  // namespace pops::bench
 
-POPSNET_BENCH_MAIN(pops::bench::print_tables)
+POPSNET_BENCH_MAIN(pops::bench::print_tables,
+                   pops::bench::register_tier_benches)

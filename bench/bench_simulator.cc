@@ -2,7 +2,7 @@
 // simulator itself (packets moved per second under full validation),
 // plus the traffic-pattern scenario sweep: every generator in
 // pops/patterns.h routed at the Theorem 2 bound and executed on the
-// simulator.
+// simulator. All sizes come from the active tier's (d, g) grid.
 #include "bench_common.h"
 #include "perm/families.h"
 #include "pops/network.h"
@@ -22,9 +22,8 @@ void print_throughput_table() {
   Table table({"topology", "n", "slots/schedule", "Mpacket-slots/s",
                "coupler util %"});
   Rng rng(8);
-  for (const auto& [d, g] :
-       {std::pair{8, 8}, {16, 16}, {32, 32}, {64, 16}, {16, 64}}) {
-    const Topology topo(d, g);
+  for (const GridPoint point : tier().grid) {
+    const Topology topo(point.d, point.g);
     const int n = topo.processor_count();
     const Permutation pi = Permutation::random(n, rng);
     RoutingEngine engine(topo);
@@ -57,8 +56,8 @@ void print_pattern_table() {
   std::cout << "=== E8b: traffic-pattern scenarios (engine-routed, "
                "executed, verified) ===\n";
   Table table({"topology", "pattern", "slots", "formula", "delivered"});
-  for (const auto& [d, g] : {std::pair{4, 4}, {16, 16}, {32, 8}, {8, 32}}) {
-    const Topology topo(d, g);
+  for (const GridPoint point : tier().grid) {
+    const Topology topo(point.d, point.g);
     RoutingEngine engine(topo);
     Network net(topo);
     for (const auto pattern : kAllTrafficPatterns) {
@@ -98,7 +97,6 @@ void BM_ExecuteSchedule(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * topo.processor_count() *
                           plan.slot_count());
 }
-BENCHMARK(BM_ExecuteSchedule)->Args({16, 16})->Args({32, 32})->Args({64, 16});
 
 void BM_ExecuteFlatSchedule(benchmark::State& state) {
   const Topology topo(static_cast<int>(state.range(0)),
@@ -115,10 +113,6 @@ void BM_ExecuteFlatSchedule(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * topo.processor_count() *
                           plan.slot_count());
 }
-BENCHMARK(BM_ExecuteFlatSchedule)
-    ->Args({16, 16})
-    ->Args({32, 32})
-    ->Args({64, 16});
 
 void BM_Broadcast(benchmark::State& state) {
   const Topology topo(static_cast<int>(state.range(0)),
@@ -132,7 +126,6 @@ void BM_Broadcast(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * topo.processor_count());
 }
-BENCHMARK(BM_Broadcast)->Args({32, 32})->Args({64, 64});
 
 void BM_LoadTraffic(benchmark::State& state) {
   const Topology topo(static_cast<int>(state.range(0)),
@@ -145,9 +138,28 @@ void BM_LoadTraffic(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * topo.processor_count());
 }
-BENCHMARK(BM_LoadTraffic)->Args({64, 64});
+
+void register_tier_benches() {
+  auto* nested = benchmark::RegisterBenchmark("BM_ExecuteSchedule",
+                                              BM_ExecuteSchedule);
+  auto* flat = benchmark::RegisterBenchmark("BM_ExecuteFlatSchedule",
+                                            BM_ExecuteFlatSchedule);
+  auto* broadcast =
+      benchmark::RegisterBenchmark("BM_Broadcast", BM_Broadcast);
+  for (const GridPoint point : tier().grid) {
+    nested->Args({point.d, point.g});
+    flat->Args({point.d, point.g});
+    broadcast->Args({point.d, point.g});
+  }
+  // Traffic loading is pure memory writes; one point (the tier's
+  // largest) captures it.
+  const GridPoint largest = tier().grid.back();
+  benchmark::RegisterBenchmark("BM_LoadTraffic", BM_LoadTraffic)
+      ->Args({largest.d, largest.g});
+}
 
 }  // namespace
 }  // namespace pops::bench
 
-POPSNET_BENCH_MAIN(pops::bench::print_tables)
+POPSNET_BENCH_MAIN(pops::bench::print_tables,
+                   pops::bench::register_tier_benches)

@@ -1,9 +1,9 @@
 // Experiment E1 — the Theorem 2 table.
 //
 // Paper claim: POPS(d,g) routes ANY permutation in 1 slot (d = 1) and
-// 2*ceil(d/g) slots (d > 1). The table sweeps the (d, g) grid and several
-// permutation classes; "measured" is the slot count of an executed,
-// verified schedule. Every row must satisfy measured == formula.
+// 2*ceil(d/g) slots (d > 1). The table sweeps the tier's (d, g) grid and
+// several permutation classes; "measured" is the slot count of an
+// executed, verified schedule. Every row must satisfy measured == formula.
 #include <vector>
 
 #include "bench_common.h"
@@ -21,8 +21,8 @@ void print_tables() {
   Table table({"topology", "n", "formula", "random", "derangement",
                "reversal", "group-rot", "identity"});
   Rng rng(1);
-  for (const int d : {1, 2, 4, 8, 16, 32}) {
-    for (const int g : {1, 2, 4, 8, 16, 32}) {
+  for (const int d : tier().table_axis) {
+    for (const int g : tier().table_axis) {
       const Topology topo(d, g);
       const int n = topo.processor_count();
       const int random_slots =
@@ -47,7 +47,7 @@ void print_tables() {
                "column.\n\n";
 }
 
-// The engine-vs-wrapper throughput counter: items/s is permutations
+// The engine-vs-wrapper throughput counter: perms_per_sec is permutations
 // routed per second at fixed (d, g). Both variants run the identical
 // Theorem 2 construction; the wrapper additionally pays a fresh
 // RoutingEngine (all scratch arenas) plus the flat-to-nested plan copy
@@ -61,13 +61,9 @@ void BM_RoutePermutation(benchmark::State& state) {
     benchmark::DoNotOptimize(route_permutation(topo, pi));
   }
   state.SetItemsProcessed(state.iterations());  // permutations routed
+  state.counters["perms_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_RoutePermutation)
-    ->Args({4, 4})
-    ->Args({16, 16})
-    ->Args({64, 8})
-    ->Args({8, 64})
-    ->Args({32, 32});
 
 void BM_EngineRoutePermutation(benchmark::State& state) {
   const Topology topo(static_cast<int>(state.range(0)),
@@ -80,13 +76,9 @@ void BM_EngineRoutePermutation(benchmark::State& state) {
     benchmark::DoNotOptimize(&engine.route_permutation(pi));
   }
   state.SetItemsProcessed(state.iterations());  // permutations routed
+  state.counters["perms_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_EngineRoutePermutation)
-    ->Args({4, 4})
-    ->Args({16, 16})
-    ->Args({64, 8})
-    ->Args({8, 64})
-    ->Args({32, 32});
 
 void BM_RouteAndExecute(benchmark::State& state) {
   const Topology topo(static_cast<int>(state.range(0)),
@@ -102,9 +94,23 @@ void BM_RouteAndExecute(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * topo.processor_count());
 }
-BENCHMARK(BM_RouteAndExecute)->Args({4, 4})->Args({16, 16})->Args({32, 32});
+
+void register_tier_benches() {
+  auto* route = benchmark::RegisterBenchmark("BM_RoutePermutation",
+                                             BM_RoutePermutation);
+  auto* engine = benchmark::RegisterBenchmark("BM_EngineRoutePermutation",
+                                              BM_EngineRoutePermutation);
+  auto* execute = benchmark::RegisterBenchmark("BM_RouteAndExecute",
+                                               BM_RouteAndExecute);
+  for (const GridPoint point : tier().grid) {
+    route->Args({point.d, point.g});
+    engine->Args({point.d, point.g});
+    execute->Args({point.d, point.g});
+  }
+}
 
 }  // namespace
 }  // namespace pops::bench
 
-POPSNET_BENCH_MAIN(pops::bench::print_tables)
+POPSNET_BENCH_MAIN(pops::bench::print_tables,
+                   pops::bench::register_tier_benches)

@@ -6,10 +6,11 @@
 // is routed by the reused engine at the h * 2*ceil(d/g) budget and
 // executed on the strict simulator (the server aborts on any
 // unverified window, so a routing regression kills the bench). The
-// soak section drives POPS_TRAFFIC_SOAK_WINDOWS windows (default
-// 12000) through one (d, g) point and checks that the server's
-// scratch footprint stayed flat after warm-up — the zero-allocation
-// contract under system-shaped load, not just per-call.
+// soak section drives tier().soak_windows windows (overridable with
+// POPS_TRAFFIC_SOAK_WINDOWS) through the tier's first serve point and
+// checks that the server's scratch footprint stayed flat after
+// warm-up — the zero-allocation contract under system-shaped load,
+// not just per-call.
 #include <cstdlib>
 
 #include "bench_common.h"
@@ -23,13 +24,13 @@ namespace pops::bench {
 namespace {
 
 long long soak_windows() {
-  // CI's asan job shortens the soak to a few hundred windows via this
-  // env var; the default exercises a production-shaped run.
+  // CI's sanitizer jobs shorten the soak to a few hundred windows via
+  // this env var; the tier default exercises a tier-shaped run.
   if (const char* env = std::getenv("POPS_TRAFFIC_SOAK_WINDOWS")) {
     const int value = std::atoi(env);
     if (value > 0) return value;
   }
-  return 12000;
+  return tier().soak_windows;
 }
 
 ArrivalConfig arrival_config(ArrivalProcess process, std::uint64_t seed) {
@@ -39,6 +40,13 @@ ArrivalConfig arrival_config(ArrivalProcess process, std::uint64_t seed) {
   config.mean_gap_ticks = 1;
   config.mean_burst_length = 24;
   config.mean_off_gap_ticks = 64;
+  return config;
+}
+
+ServerConfig server_config(int window_degree) {
+  ServerConfig config;
+  config.max_window_degree = window_degree;
+  config.max_window_demands = tier().max_window_demands;
   return config;
 }
 
@@ -68,20 +76,18 @@ void add_row(Table& table, const Topology& topo, ArrivalProcess process,
 }
 
 void print_tables() {
-  std::cout << "=== E11a: traffic server, 500 windows per arrival "
-               "process (verified) ===\n";
+  const int windows = tier().serve_table_windows;
+  std::cout << "=== E11a: traffic server, " << windows
+            << " windows per arrival process (verified) ===\n";
   Table table({"topology", "arrivals", "windows", "demands", "h_max",
                "slots", "budget", "delay_p50", "delay_p99",
                "demands/tick"});
-  for (const auto& [d, g] : {std::pair{1, 8}, {4, 4}, {8, 4}, {4, 8}}) {
-    const Topology topo(d, g);
+  for (const ServePoint point : tier().serve_grid) {
+    const Topology topo(point.d, point.g);
     for (const ArrivalProcess process : kAllArrivalProcesses) {
-      ServerConfig config;
-      config.max_window_degree = 4;
-      config.max_window_demands = 256;
-      TrafficServer server(topo, config);
+      TrafficServer server(topo, server_config(point.window_degree));
       ArrivalGenerator generator(topo, arrival_config(process, 11));
-      drive_windows(server, generator, 500);
+      drive_windows(server, generator, windows);
       server.flush();
       add_row(table, topo, process, server);
     }
@@ -91,37 +97,35 @@ void print_tables() {
                "routes at exactly h * 2*ceil(d/g) slots; h slots when\n"
                "d = 1), bursty rows show the largest p99 queueing delay.\n\n";
 
-  const long long windows = soak_windows();
-  std::cout << "=== E11b: soak — " << windows
-            << " windows on POPS(4,4), uniform arrivals ===\n";
-  const Topology topo(4, 4);
-  ServerConfig config;
-  config.max_window_degree = 4;
-  config.max_window_demands = 256;
-  TrafficServer server(topo, config);
+  const long long soak = soak_windows();
+  const ServePoint point = tier().serve_grid.front();
+  const Topology topo(point.d, point.g);
+  std::cout << "=== E11b: soak — " << soak << " windows on "
+            << topo.to_string() << ", uniform arrivals ===\n";
+  TrafficServer server(topo, server_config(point.window_degree));
   ArrivalGenerator generator(topo, arrival_config(
                                        ArrivalProcess::kUniform, 7));
-  const long long warmup = std::max<long long>(100, windows / 10);
+  const long long warmup = std::max<long long>(100, soak / 10);
   drive_windows(server, generator, warmup);
   const ScratchFootprint warm = server.scratch_footprint();
-  drive_windows(server, generator, windows);
+  drive_windows(server, generator, soak);
   server.flush();
   const ScratchFootprint done = server.scratch_footprint();
   POPS_CHECK(warm == done,
              "traffic soak grew server scratch after warm-up "
              "(steady-state allocation)");
   const ServerStats& stats = server.stats();
-  Table soak({"windows", "demands", "slots", "budget", "delay_p50",
-              "delay_p99", "delay_mean", "footprint"});
-  soak.add(stats.windows_routed, stats.demands_routed,
-           stats.slots_executed, stats.budget_slots,
-           as_int(static_cast<std::size_t>(
-               stats.queueing_delay.percentile(0.50))),
-           as_int(static_cast<std::size_t>(
-               stats.queueing_delay.percentile(0.99))),
-           format_double(stats.queueing_delay.mean(), 2),
-           str_cat(done.units, " (flat after warm-up)"));
-  soak.print(std::cout);
+  Table soak_table({"windows", "demands", "slots", "budget", "delay_p50",
+                    "delay_p99", "delay_mean", "footprint"});
+  soak_table.add(stats.windows_routed, stats.demands_routed,
+                 stats.slots_executed, stats.budget_slots,
+                 as_int(static_cast<std::size_t>(
+                     stats.queueing_delay.percentile(0.50))),
+                 as_int(static_cast<std::size_t>(
+                     stats.queueing_delay.percentile(0.99))),
+                 format_double(stats.queueing_delay.mean(), 2),
+                 str_cat(done.units, " (flat after warm-up)"));
+  soak_table.print(std::cout);
   std::cout << "Expected shape: footprint identical before and after the\n"
                "post-warm-up soak (the POPS_CHECK above enforces it).\n\n";
 }
@@ -129,10 +133,8 @@ void print_tables() {
 void serve_benchmark(benchmark::State& state, ArrivalProcess process) {
   const Topology topo(static_cast<int>(state.range(0)),
                       static_cast<int>(state.range(1)));
-  ServerConfig config;
-  config.max_window_degree = static_cast<int>(state.range(2));
-  config.max_window_demands = 256;
-  TrafficServer server(topo, config);
+  TrafficServer server(topo,
+                       server_config(static_cast<int>(state.range(2))));
   ArrivalGenerator generator(topo, arrival_config(process, 56));
   // Warm the arenas so the timed loop measures steady-state serving.
   drive_windows(server, generator, 2);
@@ -163,14 +165,23 @@ void BM_ServeZipfHotGroup(benchmark::State& state) {
 void BM_ServeBurstyOnOff(benchmark::State& state) {
   serve_benchmark(state, ArrivalProcess::kBurstyOnOff);
 }
-BENCHMARK(BM_ServeUniform)
-    ->Args({4, 4, 4})
-    ->Args({8, 4, 4})
-    ->Args({16, 8, 8});
-BENCHMARK(BM_ServeZipfHotGroup)->Args({4, 4, 4})->Args({16, 8, 8});
-BENCHMARK(BM_ServeBurstyOnOff)->Args({4, 4, 4})->Args({16, 8, 8});
+
+void register_tier_benches() {
+  auto* uniform =
+      benchmark::RegisterBenchmark("BM_ServeUniform", BM_ServeUniform);
+  auto* zipf = benchmark::RegisterBenchmark("BM_ServeZipfHotGroup",
+                                            BM_ServeZipfHotGroup);
+  auto* bursty = benchmark::RegisterBenchmark("BM_ServeBurstyOnOff",
+                                              BM_ServeBurstyOnOff);
+  for (const ServePoint point : tier().serve_grid) {
+    uniform->Args({point.d, point.g, point.window_degree});
+    zipf->Args({point.d, point.g, point.window_degree});
+    bursty->Args({point.d, point.g, point.window_degree});
+  }
+}
 
 }  // namespace
 }  // namespace pops::bench
 
-POPSNET_BENCH_MAIN(pops::bench::print_tables)
+POPSNET_BENCH_MAIN(pops::bench::print_tables,
+                   pops::bench::register_tier_benches)

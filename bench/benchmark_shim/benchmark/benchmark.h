@@ -20,8 +20,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace benchmark {
@@ -91,7 +93,10 @@ inline void DoNotOptimize(const T& value) {
 
 namespace internal {
 
-using Function = void (*)(State&);
+// std::function rather than a raw pointer so RegisterBenchmark()
+// accepts the same callables the real library does (lambdas included),
+// not just the BENCHMARK() macro's plain functions.
+using Function = std::function<void(State&)>;
 
 struct Registration {
   std::string name;
@@ -291,12 +296,23 @@ inline std::deque<Benchmark>& benchmark_handles() {
 
 inline Benchmark* register_benchmark(const char* name,
                                      Function function) {
-  registry().push_back(Registration{name, function, {}});
+  registry().push_back(Registration{name, std::move(function), {}});
   benchmark_handles().emplace_back(&registry().back());
   return &benchmark_handles().back();
 }
 
 }  // namespace internal
+
+/// Runtime registration, mirroring the real library's
+/// benchmark::RegisterBenchmark: the tier-aware benches call this
+/// after the tier is resolved, because their Args grids are not known
+/// at static-initialization time.
+template <typename Callable>
+inline internal::Benchmark* RegisterBenchmark(const char* name,
+                                              Callable&& function) {
+  return internal::register_benchmark(
+      name, internal::Function(std::forward<Callable>(function)));
+}
 
 inline void Initialize(int* argc, char** argv) {
   int kept = 1;

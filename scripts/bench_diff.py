@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Diff two merged benchmark snapshots and gate on throughput regressions.
+
+Usage:
+  bench_diff.py BASELINE.json CURRENT.json
+                [--threshold 0.15]
+                [--counter-threshold NAME=FRACTION ...]
+                [--on-host-mismatch {fail,warn}]
+
+Compares every throughput counter (``items_per_second`` and
+``*_per_sec`` / ``*_per_second`` user counters — higher is better) of
+every benchmark case in BASELINE against CURRENT:
+
+  * a counter more than THRESHOLD slower than baseline is a regression
+    (default 15%; per-counter overrides via --counter-threshold, e.g.
+    ``--counter-threshold demands_per_sec=0.30``);
+  * a bench, case, or counter present in baseline but missing from
+    current is a structural failure (a silently dropped counter would
+    hide regressions forever) — refresh the snapshot deliberately to
+    remove one;
+  * benches/cases/counters only in CURRENT are reported as new and
+    pass (a new bench needs no baseline yet).
+
+Snapshots carry machine/library metadata. When the baseline was taken
+on different hardware or a different benchmark library, absolute
+numbers are not comparable; ``--on-host-mismatch warn`` (CI uses this)
+downgrades *numeric* regressions to warnings in that case, while
+structural failures and tier mismatches still fail. Refreshing the
+snapshot on gate hardware re-arms the hard gate automatically.
+
+Exit codes: 0 pass, 1 regression/structural failure, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_THRESHOLD = 0.15
+
+# Context keys that define comparability of absolute numbers.
+HOST_IDENTITY_KEYS = ("cpu", "library")
+
+
+def is_throughput_counter(key):
+    return (key == "items_per_second" or key.endswith("_per_sec")
+            or key.endswith("_per_second"))
+
+
+def load_snapshot(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, dict) or "benches" not in doc:
+        raise ValueError(f"{path}: not a merged snapshot (no 'benches')")
+    return doc
+
+
+def throughput_counters(bench_doc):
+    """{case name: {counter: value}} for one bench's google-benchmark doc."""
+    cases = {}
+    for entry in bench_doc.get("benchmarks", []):
+        if not isinstance(entry, dict):
+            continue
+        # Skip statistics rows (mean/median/stddev) the real library
+        # emits with --benchmark_repetitions; compare raw runs only.
+        if entry.get("run_type") == "aggregate":
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str):
+            continue
+        counters = {
+            key: float(value)
+            for key, value in entry.items()
+            if is_throughput_counter(key) and isinstance(value, (int, float))
+        }
+        if counters:
+            cases[name] = counters
+    return cases
+
+
+def host_identity(doc):
+    context = doc.get("context", {})
+    return {key: context.get(key, "") for key in HOST_IDENTITY_KEYS}
+
+
+class Report:
+    def __init__(self):
+        self.rows = []        # (status, case, counter, detail)
+        self.regressions = []
+        self.structural = []
+        self.new_items = []
+
+    def row(self, status, case, counter, detail):
+        self.rows.append((status, case, counter, detail))
+
+
+def compare(baseline, current, threshold, overrides):
+    """Compares two snapshot docs; returns a Report. Raises ValueError on
+    tier mismatch (snapshots of different tiers are never comparable)."""
+    base_tier = baseline.get("tier")
+    cur_tier = current.get("tier")
+    if base_tier != cur_tier:
+        raise ValueError(
+            f"tier mismatch: baseline is '{base_tier}', current is "
+            f"'{cur_tier}' — run the diff within one tier")
+
+    report = Report()
+    base_benches = baseline["benches"]
+    cur_benches = current["benches"]
+
+    for bench_name in sorted(base_benches):
+        if bench_name not in cur_benches:
+            report.structural.append(
+                f"bench '{bench_name}' present in baseline but missing "
+                "from current run")
+            continue
+        base_cases = throughput_counters(base_benches[bench_name])
+        cur_cases = throughput_counters(cur_benches[bench_name])
+        for case in sorted(base_cases):
+            qualified = f"{bench_name}:{case}"
+            if case not in cur_cases:
+                report.structural.append(
+                    f"case '{qualified}' disappeared from current run")
+                continue
+            for counter, base_value in sorted(base_cases[case].items()):
+                cur_value = cur_cases[case].get(counter)
+                if cur_value is None:
+                    report.structural.append(
+                        f"counter '{counter}' of '{qualified}' missing "
+                        "from current run")
+                    continue
+                if base_value <= 0:
+                    report.row("skip", qualified, counter,
+                               "baseline value is zero")
+                    continue
+                change = cur_value / base_value - 1.0
+                limit = overrides.get(counter, threshold)
+                detail = (f"{base_value:.4g} -> {cur_value:.4g} "
+                          f"({change:+.1%}, limit -{limit:.0%})")
+                if change < -limit:
+                    report.regressions.append(
+                        f"{qualified} {counter}: {detail}")
+                    report.row("REGRESSION", qualified, counter, detail)
+                else:
+                    report.row("ok", qualified, counter, detail)
+            for counter in sorted(
+                    set(cur_cases[case]) - set(base_cases[case])):
+                report.new_items.append(
+                    f"counter '{counter}' of '{qualified}'")
+        for case in sorted(set(cur_cases) - set(base_cases)):
+            report.new_items.append(f"case '{bench_name}:{case}'")
+    for bench_name in sorted(set(cur_benches) - set(base_benches)):
+        report.new_items.append(f"bench '{bench_name}'")
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="default allowed fractional slowdown "
+                             f"(default {DEFAULT_THRESHOLD})")
+    parser.add_argument("--counter-threshold", action="append", default=[],
+                        metavar="NAME=FRACTION",
+                        help="per-counter threshold override")
+    parser.add_argument("--on-host-mismatch", choices=("fail", "warn"),
+                        default="fail",
+                        help="when snapshot hosts/libraries differ, "
+                             "'warn' downgrades numeric regressions to "
+                             "warnings (structural failures still fail)")
+    args = parser.parse_args(argv)
+
+    overrides = {}
+    for item in args.counter_threshold:
+        name, sep, value = item.partition("=")
+        if not sep:
+            parser.error(f"--counter-threshold needs NAME=FRACTION, "
+                         f"got '{item}'")
+        try:
+            overrides[name] = float(value)
+        except ValueError:
+            parser.error(f"--counter-threshold fraction not a number: "
+                         f"'{item}'")
+
+    try:
+        baseline = load_snapshot(args.baseline)
+        current = load_snapshot(args.current)
+        report = compare(baseline, current, args.threshold, overrides)
+    except (OSError, json.JSONDecodeError, ValueError) as err:
+        print(f"bench_diff: {err}", file=sys.stderr)
+        return 2
+
+    for status, case, counter, detail in report.rows:
+        if status != "ok":
+            print(f"  [{status}] {case} {counter}: {detail}")
+    ok_count = sum(1 for row in report.rows if row[0] == "ok")
+    print(f"bench_diff: {ok_count} counters within threshold")
+    for item in report.new_items:
+        print(f"  [new, no baseline] {item}")
+
+    hosts_match = host_identity(baseline) == host_identity(current)
+    if not hosts_match:
+        print("bench_diff: WARNING baseline and current snapshots come "
+              "from different hosts/libraries:\n"
+              f"  baseline: {host_identity(baseline)}\n"
+              f"  current:  {host_identity(current)}")
+
+    failed = False
+    for item in report.structural:
+        print(f"bench_diff: FAIL (structural) {item}", file=sys.stderr)
+        failed = True
+    if report.regressions:
+        downgrade = args.on_host_mismatch == "warn" and not hosts_match
+        label = "WARN (host mismatch)" if downgrade else "FAIL"
+        for item in report.regressions:
+            print(f"bench_diff: {label} regression: {item}",
+                  file=sys.stderr)
+        if not downgrade:
+            failed = True
+        else:
+            print("bench_diff: regressions not gating because the "
+                  "baseline host differs; refresh the snapshot on gate "
+                  "hardware to re-arm the hard gate", file=sys.stderr)
+
+    if failed:
+        return 1
+    print("bench_diff: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate and merge per-bench google-benchmark JSON into one snapshot.
+
+Usage:
+  bench_merge.py --out OUT.json --tier TIER [--context KEY=VALUE ...] JSON_DIR
+
+Reads every ``*.json`` in JSON_DIR (one file per wired bench, written by
+``--benchmark_out``), validates it, and writes the merged snapshot::
+
+    {
+      "schema": 2,
+      "tier": "<tier>",
+      "context": {"cpu": ..., "library": ..., ...},
+      "benches": {"<bench name>": <google-benchmark json>, ...}
+    }
+
+Validation is strict on purpose — a malformed or counter-less bench
+output must fail the merge loudly instead of silently producing an
+empty or unusable snapshot that the regression gate (bench_diff.py)
+would then vacuously pass:
+
+  * every file must parse as a JSON object with a non-empty
+    ``benchmarks`` array;
+  * every benchmark entry must carry a name, a numeric ``real_time``,
+    and at least one throughput counter (``items_per_second`` or a
+    ``*_per_sec`` / ``*_per_second`` user counter) — an entry with no
+    throughput counter cannot feed the perf trajectory and means the
+    bench forgot SetItemsProcessed()/a rate counter.
+
+Exit codes: 0 merged, 1 validation failure, 2 usage error.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def is_throughput_counter(key):
+    return (key == "items_per_second" or key.endswith("_per_sec")
+            or key.endswith("_per_second"))
+
+
+def validate_bench_doc(name, doc, errors):
+    """Appends human-readable problems with one bench's JSON to errors."""
+    if not isinstance(doc, dict):
+        errors.append(f"{name}: top level is not a JSON object")
+        return
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        errors.append(
+            f"{name}: no 'benchmarks' array (or it is empty) — the bench "
+            "ran nothing; check its registration")
+        return
+    for index, entry in enumerate(benchmarks):
+        if not isinstance(entry, dict) or not isinstance(
+                entry.get("name"), str):
+            errors.append(f"{name}: benchmarks[{index}] has no name")
+            continue
+        entry_name = entry["name"]
+        if not isinstance(entry.get("real_time"), (int, float)):
+            errors.append(
+                f"{name}: {entry_name} has no numeric real_time")
+        counters = [
+            key for key, value in entry.items()
+            if is_throughput_counter(key) and isinstance(value, (int, float))
+        ]
+        if not counters:
+            errors.append(
+                f"{name}: {entry_name} has no throughput counter "
+                "(items_per_second or *_per_sec) — add "
+                "SetItemsProcessed() or a kIsRate counter so the "
+                "regression gate can see it")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--out", required=True, help="merged snapshot path")
+    parser.add_argument("--tier", required=True,
+                        help="tier name recorded in the snapshot")
+    parser.add_argument("--context", action="append", default=[],
+                        metavar="KEY=VALUE",
+                        help="machine/compiler metadata entries")
+    parser.add_argument("json_dir", help="directory of per-bench *.json")
+    args = parser.parse_args(argv)
+
+    json_dir = pathlib.Path(args.json_dir)
+    files = sorted(json_dir.glob("*.json"))
+    if not files:
+        print(f"bench_merge: no per-bench JSON in {json_dir}",
+              file=sys.stderr)
+        return 1
+
+    context = {}
+    for item in args.context:
+        key, sep, value = item.partition("=")
+        if not sep:
+            print(f"bench_merge: --context needs KEY=VALUE, got '{item}'",
+                  file=sys.stderr)
+            return 2
+        context[key] = value
+
+    errors = []
+    benches = {}
+    for path in files:
+        name = path.stem
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError as err:
+            errors.append(f"{name}: malformed JSON ({err})")
+            continue
+        validate_bench_doc(name, doc, errors)
+        benches[name] = doc
+
+    if errors:
+        print("bench_merge: refusing to merge invalid bench output:",
+              file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+
+    # The benchmark library is part of a snapshot's identity (shim
+    # timings and real-library timings are not comparable one-to-one);
+    # the shim stamps context.library, the real library does not.
+    libraries = {
+        bench.get("context", {}).get("library", "google-benchmark")
+        for bench in benches.values()
+    }
+    context.setdefault("library", "+".join(sorted(libraries)))
+
+    merged = {
+        "schema": 2,
+        "tier": args.tier,
+        "context": context,
+        "benches": benches,
+    }
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(merged, indent=1, sort_keys=True) + "\n")
+    print(f"bench_merge: wrote {out} ({len(benches)} benches)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

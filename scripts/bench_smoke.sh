@@ -12,8 +12,12 @@
 # When a table-output-dir is given, every run additionally emits
 # google-benchmark JSON (--benchmark_out, supported by the real
 # library >= 1.8 and by the bundled shim) and the per-bench files are
-# merged into <table-output-dir>/BENCH_smoke.json — the artifact CI
-# uploads so the perf trajectory accumulates run over run.
+# validated and merged into <table-output-dir>/BENCH_smoke.json by
+# scripts/bench_merge.py — malformed or counter-less bench output
+# fails the merge with a clear error instead of silently producing an
+# empty snapshot. Tiered snapshots (the committed BENCH_<tier>.json
+# trajectory) come from scripts/bench_tier.sh instead; the smoke run
+# stays on the default `fresh` tier unless POPS_BENCH_TIER overrides.
 #
 # Usage: scripts/bench_smoke.sh <build-dir> [table-output-dir]
 set -euo pipefail
@@ -48,29 +52,20 @@ run_bench() {
   echo "::endgroup::"
 }
 
-# Merges the per-bench JSON objects into one
-# {"schema": 1, "benches": {"<name>": <google-benchmark json>, ...}}
-# document. Each per-bench file is a complete JSON object, so plain
-# concatenation yields valid JSON without external tools.
+# Validates and merges the per-bench JSON into
+# <table-dir>/BENCH_smoke.json via scripts/bench_merge.py: every file
+# must parse, contain a non-empty benchmarks array, and carry a
+# throughput counter per entry — a schema-less concatenation used to
+# slip empty/broken bench output into the uploaded artifact silently.
 merge_json() {
   local out="$table_dir/BENCH_smoke.json"
-  local first=1
-  {
-    printf '{\n"schema": 1,\n"benches": {\n'
-    local file
-    for file in "$table_dir"/json/*.json; do
-      [ -f "$file" ] || continue
-      if [ "$first" -eq 0 ]; then printf ',\n'; fi
-      first=0
-      printf '"%s": ' "$(basename "$file" .json)"
-      cat "$file"
-    done
-    printf '}\n}\n'
-  } > "$out"
+  python3 "$(dirname "$0")/bench_merge.py" \
+    --out "$out" \
+    --tier "${POPS_BENCH_TIER:-fresh}" \
+    "$table_dir/json"
   # The per-bench files are fully contained in the merged artifact;
   # dropping them keeps the uploaded tables dir free of intermediates.
   rm -rf "$table_dir/json"
-  echo "wrote $out"
 }
 
 ran=0

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Runs the whole wired-bench manifest at a named tier and writes the
+# merged BENCH_<tier>.json snapshot with machine/compiler metadata —
+# the committed perf-trajectory artifact the regression gate
+# (scripts/bench_diff.py, .github/workflows/benchmarks.yml) diffs
+# against.
+#
+#   scripts/bench_tier.sh <build-dir> <tier> [out-dir]
+#
+# <tier> is a bench/tiers.h name (fresh/small/medium/large); every
+# bench is run with POPS_BENCH_TIER=<tier> so tables and Args grids all
+# come from that tier's registry entry. <out-dir> defaults to the repo
+# root, i.e. the default invocation refreshes the committed snapshot:
+#
+#   scripts/bench_tier.sh build small        # refresh BENCH_small.json
+#   cmake --build build --target bench_tier  # same, tier from cache var
+#
+# Each bench's full console output (tier line + verified tables +
+# timings) is kept in <out-dir>/bench-tier-logs/ next to the snapshot
+# when out-dir is not the repo root; against the repo root only the
+# snapshot is written, so a refresh never litters the tree.
+#
+# Benchmark runtimes use the library's default min_time; export
+# POPS_BENCH_MIN_TIME to override (passed as --benchmark_min_time).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir="${1:?usage: bench_tier.sh <build-dir> <tier> [out-dir]}"
+tier="${2:?usage: bench_tier.sh <build-dir> <tier> [out-dir]}"
+out_dir="${3:-.}"
+
+case "$tier" in
+  fresh|small|medium|large) ;;
+  *)
+    echo "bench_tier.sh: unknown tier '$tier'" \
+         "(known: fresh, small, medium, large)" >&2
+    exit 2
+    ;;
+esac
+
+manifest="$build_dir/bench/wired_benches.txt"
+if [ ! -f "$manifest" ]; then
+  echo "bench_tier.sh: no wired-bench manifest at $manifest;" \
+       "configure and build first (cmake -B $build_dir -S . &&" \
+       "cmake --build $build_dir)" >&2
+  exit 1
+fi
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+log_dir=""
+if [ "$out_dir" != "." ]; then
+  log_dir="$out_dir/bench-tier-logs"
+  mkdir -p "$log_dir"
+  rm -f "$log_dir"/*.txt
+fi
+
+export POPS_BENCH_TIER="$tier"
+ran=0
+while IFS= read -r name; do
+  [ -n "$name" ] || continue
+  bench="$build_dir/bench/$name"
+  if [ ! -x "$bench" ]; then
+    echo "bench_tier.sh: wired bench $name has no executable at $bench" >&2
+    exit 1
+  fi
+  echo "::group::${name}@${tier}"
+  if [ -n "$log_dir" ]; then
+    "$bench" --benchmark_out="$work/${name}.json" \
+             --benchmark_out_format=json \
+             ${POPS_BENCH_MIN_TIME:+--benchmark_min_time=$POPS_BENCH_MIN_TIME} \
+        | tee "$log_dir/${name}.txt"
+  else
+    "$bench" --benchmark_out="$work/${name}.json" \
+             --benchmark_out_format=json \
+             ${POPS_BENCH_MIN_TIME:+--benchmark_min_time=$POPS_BENCH_MIN_TIME}
+  fi
+  echo "::endgroup::"
+  ran=$((ran + 1))
+done < "$manifest"
+test "$ran" -ge 1
+
+# Machine/compiler identity: what bench_diff.py uses to decide whether
+# absolute numbers are comparable, and what a human needs to read a
+# committed snapshot.
+compiler_path="$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' \
+                 "$build_dir/CMakeCache.txt" 2>/dev/null | head -n 1)"
+compiler="unknown"
+if [ -n "$compiler_path" ] && [ -x "$compiler_path" ]; then
+  compiler="$("$compiler_path" --version 2>/dev/null | head -n 1)"
+fi
+cpu="$(sed -n 's/^model name[^:]*: //p' /proc/cpuinfo 2>/dev/null \
+       | head -n 1)"
+[ -n "$cpu" ] || cpu="$(uname -m)"
+git_rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+mkdir -p "$out_dir"
+python3 scripts/bench_merge.py \
+  --out "$out_dir/BENCH_${tier}.json" \
+  --tier "$tier" \
+  --context "host=$(uname -sm)" \
+  --context "cpu=$cpu" \
+  --context "nproc=$(nproc)" \
+  --context "compiler=$compiler" \
+  --context "git=$git_rev" \
+  --context "date=$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+  "$work"

@@ -1,0 +1,240 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/bench_diff.py (run by ctest as test_bench_diff).
+
+Canned snapshot JSON covers the regression-gate contract: a slowed
+counter fails, an improvement passes, a missing counter is a structural
+failure, a brand-new bench passes, thresholds are overridable per
+counter, and a host mismatch downgrades numeric regressions when asked.
+"""
+
+import importlib.util
+import json
+import pathlib
+import tempfile
+import unittest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load_script(name):
+    path = REPO_ROOT / "scripts" / name
+    spec = importlib.util.spec_from_file_location(name.replace(".py", ""),
+                                                  path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+bench_diff = load_script("bench_diff.py")
+bench_merge = load_script("bench_merge.py")
+
+
+def canned_snapshot():
+    """A small but realistic merged snapshot (schema 2, small tier)."""
+    return {
+        "schema": 2,
+        "tier": "small",
+        "context": {"cpu": "canned-cpu", "library": "canned-lib"},
+        "benches": {
+            "bench_theorem2_slots": {
+                "context": {},
+                "benchmarks": [
+                    {
+                        "name": "BM_EngineRoutePermutation/16/16",
+                        "run_type": "iteration",
+                        "real_time": 1000.0,
+                        "items_per_second": 50000.0,
+                        "perms_per_sec": 50000.0,
+                    },
+                    {
+                        "name": "BM_RoutePermutation/16/16",
+                        "run_type": "iteration",
+                        "real_time": 3000.0,
+                        "items_per_second": 20000.0,
+                        "perms_per_sec": 20000.0,
+                    },
+                ],
+            },
+            "bench_traffic": {
+                "context": {},
+                "benchmarks": [
+                    {
+                        "name": "BM_ServeUniform/4/4/4",
+                        "run_type": "iteration",
+                        "real_time": 800.0,
+                        "items_per_second": 90000.0,
+                        "demands_per_sec": 90000.0,
+                        "delay_p99_ticks": 12.0,  # not a throughput counter
+                    },
+                ],
+            },
+        },
+    }
+
+
+def run_diff(baseline, current, *extra_args):
+    """Writes both docs to temp files and runs bench_diff.main."""
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = pathlib.Path(tmp) / "baseline.json"
+        cur_path = pathlib.Path(tmp) / "current.json"
+        base_path.write_text(json.dumps(baseline))
+        cur_path.write_text(json.dumps(current))
+        return bench_diff.main([str(base_path), str(cur_path),
+                                *extra_args])
+
+
+class BenchDiffTest(unittest.TestCase):
+    def test_identical_snapshots_pass(self):
+        snapshot = canned_snapshot()
+        self.assertEqual(run_diff(snapshot, snapshot), 0)
+
+    def test_regression_detected(self):
+        current = canned_snapshot()
+        entry = current["benches"]["bench_theorem2_slots"]["benchmarks"][0]
+        entry["items_per_second"] *= 0.7  # 30% slower, > 15% threshold
+        entry["perms_per_sec"] *= 0.7
+        self.assertEqual(run_diff(canned_snapshot(), current), 1)
+
+    def test_small_noise_within_threshold_passes(self):
+        current = canned_snapshot()
+        entry = current["benches"]["bench_theorem2_slots"]["benchmarks"][0]
+        entry["items_per_second"] *= 0.9  # 10% slower, under 15%
+        entry["perms_per_sec"] *= 0.9
+        self.assertEqual(run_diff(canned_snapshot(), current), 0)
+
+    def test_improvement_passes(self):
+        current = canned_snapshot()
+        for bench in current["benches"].values():
+            for entry in bench["benchmarks"]:
+                for key in list(entry):
+                    if bench_diff.is_throughput_counter(key):
+                        entry[key] *= 1.5
+        self.assertEqual(run_diff(canned_snapshot(), current), 0)
+
+    def test_missing_counter_is_structural_failure(self):
+        current = canned_snapshot()
+        del current["benches"]["bench_traffic"]["benchmarks"][0][
+            "demands_per_sec"]
+        self.assertEqual(run_diff(canned_snapshot(), current), 1)
+
+    def test_missing_bench_is_structural_failure(self):
+        current = canned_snapshot()
+        del current["benches"]["bench_traffic"]
+        self.assertEqual(run_diff(canned_snapshot(), current), 1)
+
+    def test_new_bench_added_passes(self):
+        current = canned_snapshot()
+        current["benches"]["bench_new_subsystem"] = {
+            "context": {},
+            "benchmarks": [{
+                "name": "BM_New/1",
+                "run_type": "iteration",
+                "real_time": 10.0,
+                "items_per_second": 123.0,
+            }],
+        }
+        self.assertEqual(run_diff(canned_snapshot(), current), 0)
+
+    def test_threshold_override_loosens_default(self):
+        current = canned_snapshot()
+        entry = current["benches"]["bench_theorem2_slots"]["benchmarks"][0]
+        entry["items_per_second"] *= 0.8  # 20% slower
+        entry["perms_per_sec"] *= 0.8
+        self.assertEqual(run_diff(canned_snapshot(), current), 1)
+        self.assertEqual(
+            run_diff(canned_snapshot(), current, "--threshold", "0.3"), 0)
+
+    def test_per_counter_override(self):
+        current = canned_snapshot()
+        entry = current["benches"]["bench_traffic"]["benchmarks"][0]
+        entry["demands_per_sec"] *= 0.75  # 25% slower on one counter
+        args = ("--counter-threshold", "demands_per_sec=0.4")
+        # items_per_second of the same entry still regresses under the
+        # default threshold, so loosen only the named counter and keep
+        # the other one healthy.
+        entry["items_per_second"] = 90000.0
+        self.assertEqual(run_diff(canned_snapshot(), current), 1)
+        self.assertEqual(run_diff(canned_snapshot(), current, *args), 0)
+
+    def test_tier_mismatch_is_an_error(self):
+        current = canned_snapshot()
+        current["tier"] = "medium"
+        self.assertEqual(run_diff(canned_snapshot(), current), 2)
+
+    def test_host_mismatch_warn_downgrades_numeric_regression(self):
+        current = canned_snapshot()
+        current["context"]["cpu"] = "other-cpu"
+        entry = current["benches"]["bench_theorem2_slots"]["benchmarks"][0]
+        entry["items_per_second"] *= 0.5
+        entry["perms_per_sec"] *= 0.5
+        self.assertEqual(run_diff(canned_snapshot(), current), 1)
+        self.assertEqual(
+            run_diff(canned_snapshot(), current,
+                     "--on-host-mismatch", "warn"), 0)
+        # Structural failures still fail even with the downgrade.
+        del entry["perms_per_sec"]
+        self.assertEqual(
+            run_diff(canned_snapshot(), current,
+                     "--on-host-mismatch", "warn"), 1)
+
+
+class BenchMergeTest(unittest.TestCase):
+    """The merge side of the pipeline: valid output merges, malformed or
+    counter-less output is rejected (the bench_smoke.sh fix)."""
+
+    def merge(self, files):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp_path = pathlib.Path(tmp)
+            json_dir = tmp_path / "json"
+            json_dir.mkdir()
+            for name, content in files.items():
+                (json_dir / name).write_text(content)
+            out = tmp_path / "merged.json"
+            code = bench_merge.main(["--out", str(out), "--tier", "fresh",
+                                     str(json_dir)])
+            merged = json.loads(out.read_text()) if out.exists() else None
+            return code, merged
+
+    def valid_doc(self):
+        return json.dumps({
+            "context": {"library": "popsnet-benchmark-shim"},
+            "benchmarks": [{
+                "name": "BM_X/4/4",
+                "real_time": 5.0,
+                "items_per_second": 10.0,
+            }],
+        })
+
+    def test_valid_merge(self):
+        code, merged = self.merge({"bench_a.json": self.valid_doc(),
+                                   "bench_b.json": self.valid_doc()})
+        self.assertEqual(code, 0)
+        self.assertEqual(merged["schema"], 2)
+        self.assertEqual(merged["tier"], "fresh")
+        self.assertEqual(sorted(merged["benches"]), ["bench_a", "bench_b"])
+        self.assertEqual(merged["context"]["library"],
+                         "popsnet-benchmark-shim")
+
+    def test_malformed_json_rejected(self):
+        code, _ = self.merge({"bench_a.json": self.valid_doc(),
+                              "bench_b.json": "{not json"})
+        self.assertEqual(code, 1)
+
+    def test_empty_benchmarks_rejected(self):
+        code, _ = self.merge(
+            {"bench_a.json": json.dumps({"benchmarks": []})})
+        self.assertEqual(code, 1)
+
+    def test_counterless_entry_rejected(self):
+        doc = json.loads(self.valid_doc())
+        del doc["benchmarks"][0]["items_per_second"]
+        code, _ = self.merge({"bench_a.json": json.dumps(doc)})
+        self.assertEqual(code, 1)
+
+    def test_empty_dir_rejected(self):
+        code, _ = self.merge({})
+        self.assertEqual(code, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

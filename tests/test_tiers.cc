@@ -1,0 +1,126 @@
+// The bench tier registry (bench/tiers.h) is the contract every wired
+// bench and every committed BENCH_<tier>.json snapshot depends on:
+// a grid point that Topology rejects would abort every bench at that
+// tier, and a bloated `fresh` tier would slow ctest/CI smoke for
+// everyone. These tests pin both down.
+#include <cstdlib>
+
+#include "bench/tiers.h"
+#include "perm/permutation.h"
+#include "pops/network.h"
+#include "routing/engine.h"
+#include "routing/verify.h"
+#include "support/prng.h"
+#include "testing.h"
+
+namespace pops {
+namespace {
+
+using bench::all_tiers;
+using bench::set_tier;
+using bench::tier;
+using bench::tier_by_name;
+using bench::TierSpec;
+
+POPS_TEST(TiersRegistryNamesAndOrder) {
+  const auto& tiers = all_tiers();
+  EXPECT_EQ(tiers.size(), 4u);
+  EXPECT_EQ(tiers[0].name, "fresh");
+  EXPECT_EQ(tiers[1].name, "small");
+  EXPECT_EQ(tiers[2].name, "medium");
+  EXPECT_EQ(tiers[3].name, "large");
+  // Tiers are ordered by size: soak length and the largest topology
+  // both grow strictly, so "run a bigger tier" always means more work.
+  for (std::size_t i = 1; i < tiers.size(); ++i) {
+    EXPECT_TRUE(tiers[i - 1].soak_windows < tiers[i].soak_windows);
+    const auto largest_n = [](const TierSpec& spec) {
+      int best = 0;
+      for (const bench::GridPoint point : spec.grid) {
+        best = std::max(best, point.d * point.g);
+      }
+      return best;
+    };
+    EXPECT_TRUE(largest_n(tiers[i - 1]) < largest_n(tiers[i]));
+  }
+}
+
+POPS_TEST(TiersEveryGridPointIsValidForTopology) {
+  for (const TierSpec& spec : all_tiers()) {
+    EXPECT_FALSE(spec.grid.empty());
+    EXPECT_FALSE(spec.table_axis.empty());
+    EXPECT_FALSE(spec.coloring_grid.empty());
+    EXPECT_FALSE(spec.h_values.empty());
+    EXPECT_FALSE(spec.serve_grid.empty());
+    for (const bench::GridPoint point : spec.grid) {
+      const Topology topo(point.d, point.g);  // aborts if invalid
+      EXPECT_TRUE(topo.processor_count() >= 1);
+    }
+    for (const int axis : spec.table_axis) {
+      // The E1 table crosses axis x axis as (d, g).
+      const Topology topo(axis, axis);
+      EXPECT_TRUE(topo.processor_count() >= 1);
+    }
+    for (const bench::ColoringPoint point : spec.coloring_grid) {
+      EXPECT_TRUE(point.n >= 1);
+      EXPECT_TRUE(point.degree >= 1);
+      // A Delta-regular bipartite multigraph on n+n vertices needs
+      // Delta <= n.
+      EXPECT_TRUE(point.degree <= point.n);
+    }
+    for (const int h : spec.h_values) EXPECT_TRUE(h >= 1);
+    for (const bench::ServePoint point : spec.serve_grid) {
+      const Topology topo(point.d, point.g);
+      EXPECT_TRUE(topo.processor_count() >= 1);
+      EXPECT_TRUE(point.window_degree >= 1);
+      // A window must be able to hold at least one full-degree round.
+      EXPECT_TRUE(point.window_degree <= spec.max_window_demands);
+    }
+    EXPECT_TRUE(spec.serve_table_windows >= 1);
+    EXPECT_TRUE(spec.soak_windows >= 1);
+    EXPECT_TRUE(spec.random_trials >= 1);
+  }
+}
+
+POPS_TEST(TiersFreshIsSmallEnoughToRouteInProcess) {
+  // The `fresh` tier is the ctest/smoke default: every grid point must
+  // actually route + execute + verify here, fast, so the hermetic CI
+  // smoke can afford the whole manifest. 64 processors is the agreed
+  // ceiling for "toy".
+  const TierSpec& fresh = tier_by_name("fresh");
+  Rng rng(3);
+  for (const bench::GridPoint point : fresh.grid) {
+    const Topology topo(point.d, point.g);
+    EXPECT_TRUE(topo.processor_count() <= 64);
+    RoutingEngine engine(topo);
+    const Permutation pi =
+        Permutation::random(topo.processor_count(), rng);
+    const FlatSchedule& plan = engine.route_permutation(pi);
+    EXPECT_EQ(plan.slot_count(), theorem2_slots(topo));
+    Network net(topo);
+    net.load_permutation_traffic(pi);
+    EXPECT_TRUE(net.execute(plan));
+    EXPECT_TRUE(net.all_delivered());
+  }
+  for (const bench::ServePoint point : fresh.serve_grid) {
+    EXPECT_TRUE(point.d * point.g <= 64);
+  }
+  EXPECT_TRUE(fresh.soak_windows <= 1000);
+}
+
+POPS_TEST(TiersLookupAndSelection) {
+  EXPECT_EQ(tier_by_name("medium").name, "medium");
+  // Default selection is fresh; set_tier switches the global.
+  EXPECT_EQ(tier().name, "fresh");
+  set_tier("small");
+  EXPECT_EQ(tier().name, "small");
+  set_tier("fresh");
+  EXPECT_EQ(tier().name, "fresh");
+}
+
+POPS_TEST(TiersUnknownNameAborts) {
+  EXPECT_ABORTS_WITH(tier_by_name("production"), "unknown bench tier");
+  EXPECT_ABORTS_WITH(set_tier(""), "unknown bench tier");
+}
+
+}  // namespace
+}  // namespace pops
