@@ -12,8 +12,7 @@
 
 #include "bench_common.h"
 #include "perm/families.h"
-#include "routing/direct_router.h"
-#include "routing/portfolio.h"
+#include "routing/engine.h"
 #include "support/format.h"
 #include "support/prng.h"
 #include "support/table.h"
@@ -21,9 +20,10 @@
 namespace pops::bench {
 namespace {
 
-int direct_verified(const Topology& topo, const Permutation& pi) {
-  const DirectPlan plan = route_direct(topo, pi);
-  const VerificationResult vr = verify_schedule(topo, pi, plan.slots);
+int direct_verified(RoutingEngine& engine, const Permutation& pi) {
+  const FlatSchedule& plan = engine.route(pi, {RouteStrategy::kDirect});
+  const VerificationResult vr =
+      verify_schedule(engine.topology(), pi, plan);
   POPS_CHECK(vr.ok, "direct schedule failed verification: " + vr.failure);
   return plan.slot_count();
 }
@@ -38,16 +38,19 @@ void print_tables() {
     const Topology topo(point.d, point.g);
     const int n = topo.processor_count();
     const int thm2 = theorem2_slots(topo);
+    RoutingEngine engine(topo);
 
     double direct_random = 0;
     for (int t = 0; t < 5; ++t) {
-      direct_random += direct_verified(topo, Permutation::random(n, rng));
+      direct_random +=
+          direct_verified(engine, Permutation::random(n, rng));
     }
     direct_random /= 5;
 
-    const int direct_reversal = direct_verified(topo, vector_reversal(n));
+    const int direct_reversal =
+        direct_verified(engine, vector_reversal(n));
     const int direct_rot = direct_verified(
-        topo, group_rotation(point.d, point.g, point.g > 1 ? 1 : 0));
+        engine, group_rotation(point.d, point.g, point.g > 1 ? 1 : 0));
 
     table.add(topo.to_string(), thm2, format_double(direct_random, 1),
               direct_reversal, direct_rot,
@@ -73,6 +76,7 @@ void print_tables() {
          {grid.front(), grid[grid.size() / 2], grid.back()}) {
       const Topology topo(point.d, point.g);
       const int n = topo.processor_count();
+      RoutingEngine engine(topo);
       struct Case {
         const char* name;
         Permutation pi;
@@ -84,12 +88,15 @@ void print_tables() {
            group_rotation(point.d, point.g, point.g > 1 ? 1 : 0)},
       };
       for (const auto& c : cases) {
-        const PortfolioPlan plan = best_route(topo, c.pi);
-        const VerificationResult vr = verify_schedule(topo, c.pi, plan.slots);
+        const FlatSchedule& plan =
+            engine.route(c.pi, {RouteStrategy::kBest});
+        const VerificationResult vr = verify_schedule(topo, c.pi, plan);
         POPS_CHECK(vr.ok, "portfolio schedule failed: " + vr.failure);
-        portfolio_table.add(topo.to_string(), c.name, to_string(plan.strategy),
-                  plan.slot_count(), plan.theorem2_slot_count,
-                  plan.direct_slot_count);
+        portfolio_table.add(topo.to_string(), c.name,
+                            to_string(engine.last_strategy()),
+                            plan.slot_count(),
+                            engine.theorem2_slot_count(),
+                            engine.direct_slot_count());
       }
     }
     portfolio_table.print(std::cout);
@@ -107,11 +114,13 @@ void print_tables() {
   for (const auto& [d, g] : {std::pair{2, 4}, {2, 8}, {3, 8}, {4, 8},
                              {2, 16}, {4, 16}}) {
     const Topology topo(d, g);
+    RoutingEngine engine(topo);
     int count = 0;
     for (int t = 0; t < trials; ++t) {
       const Permutation pi =
           Permutation::random(topo.processor_count(), rng);
-      if (route_direct(topo, pi).max_demand <= 1) ++count;
+      engine.route_direct(pi);
+      if (engine.direct_max_demand() <= 1) ++count;
     }
     frac.add(topo.to_string(), count);
   }
@@ -126,8 +135,12 @@ void BM_DirectRoute(benchmark::State& state) {
                       static_cast<int>(state.range(1)));
   Rng rng(51);
   const Permutation pi = Permutation::random(topo.processor_count(), rng);
+  const RouteOptions options{RouteStrategy::kDirect};
+  // One-shot cost on purpose (fresh scratch per call, like the
+  // historical free function) — the warm-engine number is
+  // BM_EngineRoutePermutation's territory.
   for (auto _ : state) {
-    benchmark::DoNotOptimize(route_direct(topo, pi));
+    benchmark::DoNotOptimize(route(topo, pi, options));
   }
   state.SetItemsProcessed(state.iterations());  // permutations routed
   state.counters["perms_per_sec"] = benchmark::Counter(

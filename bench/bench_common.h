@@ -30,13 +30,16 @@ namespace pops::bench {
 
 /// Routes, executes and verifies; returns the slot count. Aborts the
 /// binary on any verification failure (a bench must never report numbers
-/// from a broken schedule).
-inline int verified_slot_count(const Topology& topo, const Permutation& pi,
-                               const RouterOptions& options = {}) {
-  const RoutePlan plan = route_permutation(topo, pi, options);
-  const VerificationResult vr = verify_schedule(topo, pi, plan.slots);
+/// from a broken schedule). Defaults to the Theorem 2 construction —
+/// the experiment tables compare measured slots against the paper
+/// formula, so "best" would be the wrong default here.
+inline int verified_slot_count(
+    const Topology& topo, const Permutation& pi,
+    const RouteOptions& options = {RouteStrategy::kTheorem2}) {
+  const RouteResult result = route(topo, pi, options);
+  const VerificationResult vr = verify_schedule(topo, pi, result.schedule);
   POPS_CHECK(vr.ok, "benchmark schedule failed verification: " + vr.failure);
-  return plan.slot_count();
+  return result.slot_count;
 }
 
 /// Resolves the active tier from `--tier=<name>` (stripped from argv so

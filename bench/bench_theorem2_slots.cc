@@ -9,6 +9,7 @@
 #include "bench_common.h"
 #include "perm/families.h"
 #include "pops/network.h"
+#include "routing/batch_router.h"
 #include "routing/engine.h"
 #include "support/prng.h"
 #include "support/table.h"
@@ -49,16 +50,17 @@ void print_tables() {
 
 // The engine-vs-wrapper throughput counter: perms_per_sec is permutations
 // routed per second at fixed (d, g). Both variants run the identical
-// Theorem 2 construction; the wrapper additionally pays a fresh
-// RoutingEngine (all scratch arenas) plus the flat-to-nested plan copy
-// per call, so the engine row must be visibly faster.
+// Theorem 2 construction; the route() wrapper additionally pays a fresh
+// RoutingEngine (all scratch arenas) plus the result copy per call, so
+// the engine row must be visibly faster.
 void BM_RoutePermutation(benchmark::State& state) {
   const Topology topo(static_cast<int>(state.range(0)),
                       static_cast<int>(state.range(1)));
   Rng rng(42);
   const Permutation pi = Permutation::random(topo.processor_count(), rng);
+  const RouteOptions options{RouteStrategy::kTheorem2};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(route_permutation(topo, pi));
+    benchmark::DoNotOptimize(route(topo, pi, options));
   }
   state.SetItemsProcessed(state.iterations());  // permutations routed
   state.counters["perms_per_sec"] = benchmark::Counter(
@@ -85,14 +87,45 @@ void BM_RouteAndExecute(benchmark::State& state) {
                       static_cast<int>(state.range(1)));
   Rng rng(43);
   const Permutation pi = Permutation::random(topo.processor_count(), rng);
-  const RoutePlan plan = route_permutation(topo, pi);
+  const RouteResult plan = route(topo, pi, {RouteStrategy::kTheorem2});
   Network net(topo);
   for (auto _ : state) {
     net.load_permutation_traffic(pi);
-    net.execute(plan.slots);
+    net.execute(plan.schedule);
     benchmark::DoNotOptimize(net.all_delivered());
   }
   state.SetItemsProcessed(state.iterations() * topo.processor_count());
+}
+
+// Batch throughput: one route_batch call per iteration over
+// tier().batch_perms pre-generated random permutations, swept across
+// the tier's worker counts (the third Args dimension). perms_per_sec
+// at `threads = t` over perms_per_sec of BM_EngineRoutePermutation is
+// the pool's scaling factor — instances share nothing, so it should
+// track the core count until memory bandwidth saturates.
+void BM_BatchRoute(benchmark::State& state) {
+  const Topology topo(static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(1)));
+  Rng rng(44);
+  std::vector<Permutation> perms;
+  perms.reserve(as_size(tier().batch_perms));
+  for (int i = 0; i < tier().batch_perms; ++i) {
+    perms.push_back(Permutation::random(topo.processor_count(), rng));
+  }
+  std::vector<FlatSchedule> results(perms.size());
+  BatchRouterConfig config;
+  config.threads = static_cast<int>(state.range(2));
+  BatchRouter router(topo, config);
+  const RouteOptions options{RouteStrategy::kTheorem2};
+  router.route_batch(perms, results, options);  // warm the result slots
+  for (auto _ : state) {
+    router.route_batch(perms, results, options);
+  }
+  const double routed =
+      static_cast<double>(state.iterations()) * perms.size();
+  state.SetItemsProcessed(static_cast<long long>(routed));
+  state.counters["perms_per_sec"] =
+      benchmark::Counter(routed, benchmark::Counter::kIsRate);
 }
 
 void register_tier_benches() {
@@ -102,10 +135,15 @@ void register_tier_benches() {
                                               BM_EngineRoutePermutation);
   auto* execute = benchmark::RegisterBenchmark("BM_RouteAndExecute",
                                                BM_RouteAndExecute);
+  auto* batch =
+      benchmark::RegisterBenchmark("BM_BatchRoute", BM_BatchRoute);
   for (const GridPoint point : tier().grid) {
     route->Args({point.d, point.g});
     engine->Args({point.d, point.g});
     execute->Args({point.d, point.g});
+    for (const int threads : tier().batch_threads) {
+      batch->Args({point.d, point.g, threads});
+    }
   }
 }
 

@@ -89,6 +89,13 @@ struct TierSpec {
   /// Trial count for sampling tables (e.g. the one-slot routable
   /// fraction, E7b).
   int random_trials;
+
+  /// Worker counts for the BatchRouter throughput axis
+  /// (BM_BatchRoute); each value registers one benchmark variant.
+  std::vector<int> batch_threads;
+
+  /// Permutations per route_batch call in BM_BatchRoute.
+  int batch_perms;
 };
 
 inline const std::vector<TierSpec>& all_tiers() {
@@ -105,6 +112,8 @@ inline const std::vector<TierSpec>& all_tiers() {
           /*soak_windows=*/400,
           /*max_window_demands=*/64,
           /*random_trials=*/50,
+          /*batch_threads=*/{1, 2},
+          /*batch_perms=*/64,
       },
       {
           "small",
@@ -118,6 +127,8 @@ inline const std::vector<TierSpec>& all_tiers() {
           /*soak_windows=*/3000,
           /*max_window_demands=*/256,
           /*random_trials=*/500,
+          /*batch_threads=*/{1, 2, 4, 8},
+          /*batch_perms=*/256,
       },
       {
           "medium",
@@ -131,6 +142,8 @@ inline const std::vector<TierSpec>& all_tiers() {
           /*soak_windows=*/12000,
           /*max_window_demands=*/512,
           /*random_trials=*/1000,
+          /*batch_threads=*/{1, 2, 4, 8, 16},
+          /*batch_perms=*/512,
       },
       {
           "large",
@@ -144,6 +157,8 @@ inline const std::vector<TierSpec>& all_tiers() {
           /*soak_windows=*/50000,
           /*max_window_demands=*/1024,
           /*random_trials=*/2000,
+          /*batch_threads=*/{1, 4, 8, 16, 32},
+          /*batch_perms=*/1024,
       },
   };
   return tiers;

@@ -124,9 +124,14 @@ class POPS_THREAD_COMPATIBLE Network {
 
   /// Executes the slots in order. Returns false (and records the
   /// failure) as soon as a slot violates the model; later slots are
-  /// not executed.
-  bool execute(const std::vector<SlotPlan>& slots);
+  /// not executed. The FlatSchedule overload (and the Span-based
+  /// execute_slot underneath it) is the canonical path; the nested
+  /// vector<SlotPlan> overload delegates slot by slot and survives
+  /// only for legacy plans.
   bool execute(const FlatSchedule& schedule);
+  [[deprecated(
+      "execute a FlatSchedule (or loop execute_slot over Spans)")]]
+  bool execute(const std::vector<SlotPlan>& slots);
   bool execute_slot(const SlotPlan& slot) {
     return execute_slot(Span<const Transmission>(slot.transmissions));
   }

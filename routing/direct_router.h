@@ -40,6 +40,9 @@ struct DirectPlan {
 /// pending packet of every coupler queue. The schedule honors the
 /// one-packet-per-coupler, one-send-per-transmitter and
 /// one-tune-per-receiver rules by construction.
+[[deprecated(
+    "use route(topo, pi, {RouteStrategy::kDirect}) or "
+    "RoutingEngine::route")]]
 DirectPlan route_direct(const Topology& topo, const Permutation& pi);
 
 }  // namespace pops

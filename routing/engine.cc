@@ -4,17 +4,17 @@
 
 #include "support/alloc_guard.h"
 
+#include <ostream>
+
 namespace pops {
 
-std::string to_string(RouteStrategy strategy) {
-  switch (strategy) {
-    case RouteStrategy::kDirect:
-      return "direct";
-    case RouteStrategy::kTheorem2:
-      return "theorem2";
-  }
-  POPS_CHECK(false, "to_string: unknown RouteStrategy");
-  return "";
+std::string to_string(const ScratchFootprint& footprint) {
+  return str_cat(footprint.units, " units");
+}
+
+std::ostream& operator<<(std::ostream& os,
+                         const ScratchFootprint& footprint) {
+  return os << footprint.units << " units";
 }
 
 RoutingEngine::RoutingEngine(const Topology& topo,
@@ -40,6 +40,45 @@ RoutingEngine::RoutingEngine(const Topology& topo,
   zero_alloc_eligible_ =
       options_.coloring == ColoringAlgorithm::kAlternatingPath ||
       topo_.d() == 1;
+}
+
+const FlatSchedule& RoutingEngine::route(const Permutation& pi,
+                                         const RouteOptions& options) {
+  switch (options.strategy) {
+    case RouteStrategy::kDirect: {
+      const FlatSchedule& schedule = route_direct(pi);
+      last_strategy_ = RouteStrategy::kDirect;
+      if (options.verify) verify_or_abort(schedule, pi, "direct");
+      return schedule;
+    }
+    case RouteStrategy::kTheorem2: {
+      const FlatSchedule& schedule = route_permutation(pi);
+      last_strategy_ = RouteStrategy::kTheorem2;
+      if (options.verify) verify_or_abort(schedule, pi, "theorem2");
+      return schedule;
+    }
+    case RouteStrategy::kBest: {
+      // route_best executes both candidates on the internal simulator
+      // unconditionally, so options.verify adds nothing here.
+      const FlatSchedule& schedule = route_best(pi);
+      last_strategy_ = best_strategy_;
+      return schedule;
+    }
+  }
+  POPS_CHECK(false, "route: unknown RouteStrategy");
+  return theorem2_schedule_;  // unreachable
+}
+
+void RoutingEngine::verify_or_abort(const FlatSchedule& schedule,
+                                    const Permutation& pi,
+                                    const char* what) {
+  if (delivers(schedule, pi)) return;
+  // Cold failure path: composing the diagnostic allocates, and the
+  // abort must name the broken schedule, not trip the guard.
+  ScopedAllocationAllow allow;
+  POPS_CHECK(false, str_cat("route: ", what,
+                            " schedule failed verification: ",
+                            verification_failure()));
 }
 
 const FlatSchedule& RoutingEngine::route_permutation(

@@ -1,6 +1,18 @@
 // RoutingEngine: all routing strategies for one fixed Topology with
 // zero steady-state heap allocation.
 //
+// This is the canonical routing API. One-shot callers use the free
+// function route(topo, pi, RouteOptions{...}) from routing/router.h;
+// bulk single-threaded callers hold a RoutingEngine and call
+//
+//   const FlatSchedule& plan = engine.route(pi, options);
+//
+// per permutation; many-permutation throughput callers use
+// BatchRouter::route_batch (routing/batch_router.h), which confines
+// one warm engine to each worker thread. The historical free functions
+// route_permutation / route_direct / best_route are deprecated shims
+// over this class.
+//
 // Mei & Rizzi's Theorem 2 construction is oblivious and shape-static
 // for fixed (d, g): H is always d-regular on g + g vertices with
 // exactly n = d * g edges, every batch multigraph H_q has exactly
@@ -16,14 +28,9 @@
 // scratch_footprint() across calls); the divide-and-conquer backends
 // still build transient subgraphs inside EdgeColorer::color, so the
 // zero-allocation contract is scoped to the default.
-//
-// The free functions route_permutation / route_direct / best_route are
-// thin wrappers that construct a transient engine and copy the flat
-// result into the legacy nested-vector plan types, so no caller
-// breaks; bulk callers hold a RoutingEngine and consume FlatSchedule
-// spans directly.
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -36,13 +43,6 @@
 #include "support/thread_annotations.h"
 
 namespace pops {
-
-enum class RouteStrategy {
-  kDirect = 0,
-  kTheorem2 = 1,
-};
-
-std::string to_string(RouteStrategy strategy);
 
 /// Aggregate capacity of every scratch arena the engine owns. Two
 /// equal footprints around a route_* call mean the call did not grow
@@ -60,6 +60,12 @@ inline bool operator!=(const ScratchFootprint& a,
   return !(a == b);
 }
 
+/// "<units> units" — so EXPECT_EQ on two footprints prints both
+/// values on mismatch instead of just "footprints differ".
+std::string to_string(const ScratchFootprint& footprint);
+std::ostream& operator<<(std::ostream& os,
+                         const ScratchFootprint& footprint);
+
 // Thread-compatible, not thread-safe: one engine per thread (the
 // BatchRouter discipline); see support/thread_annotations.h.
 class POPS_THREAD_COMPATIBLE RoutingEngine {
@@ -69,6 +75,19 @@ class POPS_THREAD_COMPATIBLE RoutingEngine {
 
   const Topology& topology() const { return topo_; }
   const RouterOptions& options() const { return options_; }
+
+  /// Unified entry point: routes pi with options.strategy and returns
+  /// the schedule. options.verify executes the schedule on the
+  /// internal strict simulator and aborts on any violation (kBest
+  /// always verifies). options.coloring is ignored — the engine's
+  /// backend is fixed at construction. The returned reference stays
+  /// valid until the next route call on this engine.
+  const FlatSchedule& route(const Permutation& pi,
+                            const RouteOptions& options = {});
+
+  /// Strategy that produced the last route() schedule — the concrete
+  /// winner (kDirect or kTheorem2) when kBest was requested.
+  RouteStrategy last_strategy() const { return last_strategy_; }
 
   /// Theorem 2 schedule for pi: exactly theorem2_slots(topology())
   /// slots. The returned reference (and intermediate_of()) stays valid
@@ -108,7 +127,7 @@ class POPS_THREAD_COMPATIBLE RoutingEngine {
   ScratchFootprint scratch_footprint() const;
 
   /// True when the engine enforces the zero-allocation contract on its
-  /// route_* entry points under POPS_ALLOC_GUARD builds: the default
+  /// route entry points under POPS_ALLOC_GUARD builds: the default
   /// alternating-path coloring backend (or the trivial d == 1 case).
   /// The divide-and-conquer backends build transient subgraphs inside
   /// EdgeColorer::color, so their routes stay unguarded.
@@ -121,6 +140,10 @@ class POPS_THREAD_COMPATIBLE RoutingEngine {
   /// traffic pi; true iff every packet was delivered. Allocation-free
   /// once the simulator is warm.
   bool delivers(const FlatSchedule& schedule, const Permutation& pi);
+  /// Aborts with the simulator's diagnostic unless `schedule`
+  /// delivers pi — the RouteOptions::verify path.
+  void verify_or_abort(const FlatSchedule& schedule, const Permutation& pi,
+                       const char* what);
   /// Why the last delivers() returned false, for abort messages.
   std::string verification_failure() const;
 
@@ -159,12 +182,12 @@ class POPS_THREAD_COMPATIBLE RoutingEngine {
   FlatSchedule direct_schedule_;
 
   // --- Portfolio scratch ---
-  // Constructed on the first route_best call: the simulator's
+  // Constructed on the first verifying call: the simulator's
   // per-processor buffers and stamp arrays are the engine's largest
-  // arena, and the theorem2/direct paths (and thus every legacy
-  // wrapper call) never touch them.
+  // arena, and the unverified theorem2/direct paths never touch them.
   std::optional<Network> net_;
   RouteStrategy best_strategy_ = RouteStrategy::kDirect;
+  RouteStrategy last_strategy_ = RouteStrategy::kTheorem2;
 };
 
 }  // namespace pops

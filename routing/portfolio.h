@@ -2,11 +2,14 @@
 // on the same permutation, verify both schedules on the strict
 // simulator, and keep the one with fewer slots.
 //
-// This is the API future workloads route through: callers get the
-// random-traffic speed of direct routing (max demand ~ d/g) without
-// ever giving up the paper's flat 2 * ceil(d / g) worst-case
-// guarantee, because the adversarial group-block patterns that
-// degrade direct routing to d slots flip the choice to Theorem 2.
+// Callers get the random-traffic speed of direct routing (max demand
+// ~ d/g) without ever giving up the paper's flat 2 * ceil(d / g)
+// worst-case guarantee, because the adversarial group-block patterns
+// that degrade direct routing to d slots flip the choice to Theorem 2.
+//
+// Deprecated surface: best_route and PortfolioPlan survive as shims.
+// Use route(topo, pi, {RouteStrategy::kBest}) from routing/router.h
+// (or RoutingEngine::route for bulk callers) instead.
 #pragma once
 
 #include <string>
@@ -33,6 +36,9 @@ struct PortfolioPlan {
 /// Routes pi with both candidates, verifies both schedules, and
 /// returns the shorter one. Never exceeds
 /// min(direct max demand, theorem2_slots(topo)).
+[[deprecated(
+    "use route(topo, pi, {RouteStrategy::kBest}) or "
+    "RoutingEngine::route")]]
 PortfolioPlan best_route(const Topology& topo, const Permutation& pi,
                          const RouterOptions& options = {});
 

@@ -4,15 +4,39 @@
 
 namespace pops {
 
+std::string to_string(RouteStrategy strategy) {
+  switch (strategy) {
+    case RouteStrategy::kDirect:
+      return "direct";
+    case RouteStrategy::kTheorem2:
+      return "theorem2";
+    case RouteStrategy::kBest:
+      return "best";
+  }
+  POPS_CHECK(false, "to_string: unknown RouteStrategy");
+  return "";
+}
+
 int theorem2_slots(const Topology& topo) {
   if (topo.d() == 1) return 1;
   return 2 * ((topo.d() + topo.g() - 1) / topo.g());
 }
 
-// Compatibility wrapper: the Theorem 2 construction lives in
-// RoutingEngine::route_permutation; this copies the flat schedule into
-// the legacy nested-vector plan. Bulk callers should hold a
-// RoutingEngine and consume the FlatSchedule directly.
+RouteResult route(const Topology& topo, const Permutation& pi,
+                  const RouteOptions& options) {
+  RouterOptions engine_options;
+  engine_options.coloring = options.coloring;
+  RoutingEngine engine(topo, engine_options);
+  RouteResult result;
+  result.schedule = engine.route(pi, options);  // copies the flat plan
+  result.strategy = engine.last_strategy();
+  result.slot_count = result.schedule.slot_count();
+  return result;
+}
+
+// Compatibility shim: the Theorem 2 construction lives in
+// RoutingEngine; this copies the flat schedule into the legacy
+// nested-vector plan. Deprecated — use route() or hold an engine.
 RoutePlan route_permutation(const Topology& topo, const Permutation& pi,
                             const RouterOptions& options) {
   RoutingEngine engine(topo, options);

@@ -1,4 +1,4 @@
-// Theorem 2 permutation routing on POPS(d, g).
+// The routing API for POPS(d, g) permutation traffic.
 //
 // Mei & Rizzi (IPDPS 2002): every permutation can be routed in one slot
 // when d = 1 and in 2 * ceil(d / g) slots when d > 1. The construction
@@ -20,8 +20,23 @@
 //      group, slot 2q+1 forwards it to its true destination. All
 //      coupler, transmitter and receiver constraints hold by (a), (b)
 //      and the properness of the colorings.
+//
+// One-shot callers use the single entry point
+//
+//   RouteResult result = route(topo, pi, RouteOptions{...});
+//
+// which selects a strategy (Theorem 2, the greedy direct router, or
+// the verified best-of-both portfolio), optionally verifies the
+// schedule on the strict simulator, and returns a FlatSchedule plus
+// the strategy that produced it. Bulk callers hold a RoutingEngine
+// (routing/engine.h) and call engine.route(pi, options) to reuse the
+// scratch arenas; many-permutation throughput callers use
+// BatchRouter::route_batch (routing/batch_router.h). The historical
+// free functions route_permutation / route_direct / best_route and
+// their nested-vector plan types survive as deprecated shims.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "graph/edge_coloring.h"
@@ -30,10 +45,65 @@
 
 namespace pops {
 
+/// The routing strategies of the portfolio.
+enum class RouteStrategy {
+  /// Greedy one-hop schedule: exactly max-demand slots. Fast on random
+  /// traffic (max demand ~ d/g), degrades to d slots on adversarial
+  /// group-block traffic.
+  kDirect = 0,
+  /// The paper's two-phase construction: a flat 2 * ceil(d / g) slots
+  /// (1 slot when d = 1) for ANY permutation.
+  kTheorem2 = 1,
+  /// Run both, verify both on the strict simulator, keep the shorter
+  /// schedule (ties go to direct). Always verified, regardless of
+  /// RouteOptions::verify.
+  kBest = 2,
+};
+
+std::string to_string(RouteStrategy strategy);
+
 struct RouterOptions {
   /// Edge-coloring backend used for both coloring levels.
   ColoringAlgorithm coloring = ColoringAlgorithm::kAlternatingPath;
 };
+
+/// Options of the unified route() entry point (and of
+/// RoutingEngine::route / BatchRouter::route_batch).
+struct RouteOptions {
+  RouteStrategy strategy = RouteStrategy::kBest;
+  /// Execute the schedule on the strict simulator and abort on any
+  /// model violation or misdelivery. kBest verifies both candidates
+  /// unconditionally; for kDirect/kTheorem2 this buys the same
+  /// guarantee at the cost of one simulated execution.
+  bool verify = false;
+  /// Edge-coloring backend for the Theorem 2 construction. Ignored by
+  /// RoutingEngine::route / BatchRouter, whose backend is fixed at
+  /// construction (RouterOptions).
+  ColoringAlgorithm coloring = ColoringAlgorithm::kAlternatingPath;
+};
+
+/// What route() returns: the schedule in the canonical flat layout,
+/// the strategy that actually produced it (the concrete winner when
+/// kBest was requested), and its length.
+struct RouteResult {
+  FlatSchedule schedule;
+  RouteStrategy strategy = RouteStrategy::kTheorem2;
+  int slot_count = 0;
+};
+
+/// The Theorem 2 bound: 1 when d == 1, else 2 * ceil(d / g).
+int theorem2_slots(const Topology& topo);
+
+/// One-shot unified entry point: routes pi with options.strategy and
+/// returns the verified-on-request result. Constructs a transient
+/// RoutingEngine per call — bulk callers hold an engine (or a
+/// BatchRouter) instead.
+RouteResult route(const Topology& topo, const Permutation& pi,
+                  const RouteOptions& options = {});
+
+// ---------------------------------------------------------------------
+// Deprecated legacy surface (nested-vector plan types). Every shim
+// delegates to the engine; migrate to route() / RoutingEngine::route.
 
 struct RoutePlan {
   /// The schedule: 1 slot when d == 1, else 2 * ceil(d / g).
@@ -45,10 +115,10 @@ struct RoutePlan {
   int slot_count() const { return static_cast<int>(slots.size()); }
 };
 
-/// The Theorem 2 bound: 1 when d == 1, else 2 * ceil(d / g).
-int theorem2_slots(const Topology& topo);
-
 /// Builds a verified-by-construction Theorem 2 schedule for pi.
+[[deprecated(
+    "use route(topo, pi, {RouteStrategy::kTheorem2}) or "
+    "RoutingEngine::route")]]
 RoutePlan route_permutation(const Topology& topo, const Permutation& pi,
                             const RouterOptions& options = {});
 

@@ -53,12 +53,16 @@ VerificationResult check_permutation_delivery(const Network& net,
   return result;
 }
 
-// Shared body of both verify_schedule overloads; Schedule is any type
-// Network::execute accepts (nested slots or FlatSchedule).
-template <typename Schedule>
+// Shared body of both verify_schedule overloads; ExecuteFn runs the
+// schedule on the loaded network and returns Network::execute's
+// verdict. A callable (instead of the schedule itself) keeps the
+// nested legacy layout off the canonical path: the deprecated
+// overload loops execute_slot rather than calling the deprecated
+// Network::execute(vector<SlotPlan>).
+template <typename ExecuteFn>
 VerificationResult verify_schedule_impl(const Topology& topo,
                                         const Permutation& pi,
-                                        const Schedule& schedule) {
+                                        ExecuteFn&& execute) {
   VerificationResult result;
   if (pi.size() != topo.processor_count()) {
     result.failure = str_cat("permutation of size ", pi.size(),
@@ -67,7 +71,7 @@ VerificationResult verify_schedule_impl(const Topology& topo,
   }
   Network net(topo);
   net.load_permutation_traffic(pi);
-  if (!net.execute(schedule)) {
+  if (!execute(net)) {
     result.failure = net.failure();
     return result;
   }
@@ -79,13 +83,20 @@ VerificationResult verify_schedule_impl(const Topology& topo,
 VerificationResult verify_schedule(const Topology& topo,
                                    const Permutation& pi,
                                    const std::vector<SlotPlan>& slots) {
-  return verify_schedule_impl(topo, pi, slots);
+  return verify_schedule_impl(topo, pi, [&slots](Network& net) {
+    for (const SlotPlan& slot : slots) {
+      if (!net.execute_slot(slot)) return false;
+    }
+    return true;
+  });
 }
 
 VerificationResult verify_schedule(const Topology& topo,
                                    const Permutation& pi,
                                    const FlatSchedule& schedule) {
-  return verify_schedule_impl(topo, pi, schedule);
+  return verify_schedule_impl(topo, pi, [&schedule](Network& net) {
+    return net.execute(schedule);
+  });
 }
 
 std::string verify_h_relation(const Topology& topo,
@@ -104,7 +115,13 @@ std::string verify_h_relation(const Topology& topo,
     net.load_packet(
         Packet{as_int(k), request.source, request.destination, 1, 0});
   }
-  if (!net.execute(plan.all_slots())) return net.failure();
+  // Execute phase by phase, slot by slot — no nested all_slots() copy
+  // and no call into the deprecated vector<SlotPlan> execute path.
+  for (const HRelationPhase& phase : plan.phases) {
+    for (const SlotPlan& slot : phase.slots) {
+      if (!net.execute_slot(slot)) return net.failure();
+    }
+  }
   for (std::size_t k = 0; k < requests.size(); ++k) {
     const Request& request = requests[k];
     bool found = false;

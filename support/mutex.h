@@ -11,6 +11,7 @@
 // serve/traffic_server.h shows the pattern.
 #pragma once
 
+#include <condition_variable>
 #include <mutex>
 
 #include "support/thread_annotations.h"
@@ -43,6 +44,31 @@ class POPS_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex* const mu_;
+};
+
+// Condition variable over the annotated Mutex. wait() releases and
+// re-acquires the capability internally, which clang's intra-procedural
+// thread-safety analysis cannot model — the method carries
+// POPS_REQUIRES so call sites are still checked for holding the lock,
+// and the analysis is switched off only inside the one-line body.
+// Callers use the standard predicate-loop shape:
+//
+//   MutexLock lock(&mu_);
+//   while (!predicate()) cv_.wait(mu_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) POPS_REQUIRES(mu) POPS_NO_THREAD_SAFETY_ANALYSIS {
+    cv_.wait(mu);
+  }
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 }  // namespace pops

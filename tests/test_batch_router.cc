@@ -1,0 +1,212 @@
+// BatchRouter contract tests: batch output must be bitwise identical
+// to routing the same permutations sequentially on one engine (for
+// every strategy, with and without verification, at one and several
+// threads), the streaming submit/drain path must complete everything,
+// and the pool's scratch footprint must stay flat across a soak —
+// the no-allocation-after-construction claim, checked both by
+// footprint diff and by the per-engine allocation bans in
+// POPS_ALLOC_GUARD builds.
+#include <vector>
+
+#include "perm/families.h"
+#include "routing/batch_router.h"
+#include "routing/engine.h"
+#include "routing/verify.h"
+#include "support/prng.h"
+#include "tests/testing.h"
+
+namespace pops {
+namespace {
+
+bool identical(const FlatSchedule& a, const FlatSchedule& b) {
+  if (a.slot_count() != b.slot_count()) return false;
+  if (a.transmission_count() != b.transmission_count()) return false;
+  for (int s = 0; s < a.slot_count(); ++s) {
+    const Span<const Transmission> sa = a.slot(s);
+    const Span<const Transmission> sb = b.slot(s);
+    if (sa.size() != sb.size()) return false;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      if (sa[i].source != sb[i].source ||
+          sa[i].destination != sb[i].destination ||
+          sa[i].packet != sb[i].packet) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+POPS_TEST(BatchMatchesSequentialEngineAcrossStrategies) {
+  Rng rng(81);
+  for (const auto& [d, g] : {std::pair{1, 4}, {4, 4}, {8, 3}}) {
+    const Topology topo(d, g);
+    const int n = topo.processor_count();
+    std::vector<Permutation> perms;
+    for (int i = 0; i < 12; ++i) {
+      perms.push_back(Permutation::random(n, rng));
+    }
+    // The construction is deterministic for a fixed engine
+    // configuration, so every worker's engine — and this sequential
+    // reference — must emit the exact same transmissions.
+    RoutingEngine sequential(topo);
+    for (const int threads : {1, 3}) {
+      BatchRouterConfig config;
+      config.threads = threads;
+      BatchRouter router(topo, config);
+      EXPECT_EQ(router.thread_count(), threads);
+      EXPECT_EQ(router.topology().processor_count(), n);
+      for (const RouteStrategy strategy :
+           {RouteStrategy::kDirect, RouteStrategy::kTheorem2,
+            RouteStrategy::kBest}) {
+        for (const bool verify : {false, true}) {
+          RouteOptions options;
+          options.strategy = strategy;
+          options.verify = verify;
+          std::vector<FlatSchedule> results(perms.size());
+          router.route_batch(perms, results, options);
+          for (std::size_t i = 0; i < perms.size(); ++i) {
+            const FlatSchedule& expected =
+                sequential.route(perms[i], options);
+            EXPECT_TRUE(identical(results[i], expected));
+            EXPECT_TRUE(verify_schedule(topo, perms[i], results[i]).ok);
+          }
+        }
+      }
+    }
+  }
+}
+
+POPS_TEST(StreamingSubmitDrainMatchesSequential) {
+  Rng rng(82);
+  const Topology topo(4, 4);
+  const int n = topo.processor_count();
+  std::vector<Permutation> perms;
+  for (int i = 0; i < 20; ++i) {
+    perms.push_back(Permutation::random(n, rng));
+  }
+  std::vector<FlatSchedule> results(perms.size());
+  BatchRouterConfig config;
+  config.threads = 2;
+  // Deliberately smaller than the job count so submit() exercises its
+  // ring-full blocking path.
+  config.queue_capacity = 3;
+  BatchRouter router(topo, config);
+  const RouteOptions options{RouteStrategy::kTheorem2};
+  for (std::size_t i = 0; i < perms.size(); ++i) {
+    router.submit(&perms[i], &results[i], options);
+  }
+  router.drain();
+  RoutingEngine sequential(topo);
+  for (std::size_t i = 0; i < perms.size(); ++i) {
+    EXPECT_TRUE(identical(results[i], sequential.route(perms[i], options)));
+  }
+  // drain() with nothing outstanding returns immediately.
+  router.drain();
+}
+
+POPS_TEST(MoreThreadsThanJobs) {
+  Rng rng(83);
+  const Topology topo(2, 4);
+  BatchRouterConfig config;
+  config.threads = 8;
+  BatchRouter router(topo, config);
+  std::vector<Permutation> perms;
+  for (int i = 0; i < 3; ++i) {
+    perms.push_back(Permutation::random(8, rng));
+  }
+  std::vector<FlatSchedule> results(perms.size());
+  router.route_batch(perms, results);
+  RoutingEngine sequential(topo);
+  for (std::size_t i = 0; i < perms.size(); ++i) {
+    EXPECT_TRUE(identical(results[i], sequential.route(perms[i])));
+  }
+}
+
+POPS_TEST(EmptyBatchIsANoOp) {
+  const Topology topo(2, 2);
+  BatchRouter router(topo);
+  std::vector<Permutation> no_perms;
+  std::vector<FlatSchedule> no_results;
+  router.route_batch(no_perms, no_results);
+  router.drain();
+}
+
+POPS_TEST(BackToBackBatchesReuseTheSamePool) {
+  // Regression guard for the batch state machine: consecutive bulk
+  // calls must not leak claim state from one batch into the next.
+  Rng rng(84);
+  const Topology topo(4, 2);
+  BatchRouterConfig config;
+  config.threads = 3;
+  BatchRouter router(topo, config);
+  RoutingEngine sequential(topo);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Permutation> perms;
+    for (int i = 0; i < 1 + round % 5; ++i) {
+      perms.push_back(Permutation::random(8, rng));
+    }
+    std::vector<FlatSchedule> results(perms.size());
+    router.route_batch(perms, results);
+    for (std::size_t i = 0; i < perms.size(); ++i) {
+      EXPECT_TRUE(identical(results[i], sequential.route(perms[i])));
+    }
+  }
+}
+
+POPS_TEST(FootprintStaysFlatAcrossSoak) {
+  Rng rng(85);
+  const Topology topo(8, 4);
+  const int n = topo.processor_count();
+  std::vector<Permutation> perms;
+  for (int i = 0; i < 16; ++i) {
+    perms.push_back(Permutation::random(n, rng));
+  }
+  std::vector<FlatSchedule> results(perms.size());
+  BatchRouterConfig config;
+  config.threads = 2;
+  config.queue_capacity = 4;
+  BatchRouter router(topo, config);
+  const RouteOptions options{RouteStrategy::kBest};
+  // One warm pass per path grows the caller-owned result slots to
+  // their steady-state shapes; after that, nothing grows anywhere.
+  router.route_batch(perms, results, options);
+  for (std::size_t i = 0; i < perms.size(); ++i) {
+    router.submit(&perms[i], &results[i], options);
+  }
+  router.drain();
+  const ScratchFootprint warm = router.scratch_footprint();
+  EXPECT_TRUE(warm.units > 0);
+  const auto result_capacity = [&results] {
+    std::size_t total = 0;
+    for (const FlatSchedule& schedule : results) {
+      total += schedule.transmission_capacity();
+      total += schedule.offset_capacity();
+    }
+    return total;
+  };
+  const std::size_t warm_results = result_capacity();
+  for (int round = 0; round < 6; ++round) {
+    router.route_batch(perms, results, options);
+    EXPECT_EQ(router.scratch_footprint(), warm);
+    for (std::size_t i = 0; i < perms.size(); ++i) {
+      router.submit(&perms[i], &results[i], options);
+    }
+    router.drain();
+    EXPECT_EQ(router.scratch_footprint(), warm);
+    EXPECT_EQ(result_capacity(), warm_results);
+  }
+}
+
+POPS_TEST(RouteBatchRejectsSizeMismatch) {
+  Rng rng(86);
+  const Topology topo(2, 2);
+  BatchRouter router(topo);
+  std::vector<Permutation> perms{Permutation::random(4, rng),
+                                 Permutation::random(4, rng)};
+  std::vector<FlatSchedule> results(1);
+  EXPECT_ABORTS_WITH(router.route_batch(perms, results),
+                     "one result slot per permutation");
+}
+
+}  // namespace
+}  // namespace pops

@@ -1,5 +1,9 @@
+// Direct (no-intermediate) routing and the portfolio, exercised
+// through the canonical engine API, plus shim-equivalence checks for
+// the deprecated route_direct / best_route free functions.
 #include "perm/families.h"
 #include "routing/direct_router.h"
+#include "routing/engine.h"
 #include "routing/portfolio.h"
 #include "routing/verify.h"
 #include "support/prng.h"
@@ -25,10 +29,11 @@ POPS_TEST(DirectRoutesDemandOneTrafficInOneSlot) {
   for (const int size : {2, 4, 8}) {
     const Topology topo(size, size);
     const Permutation pi = group_transpose(size);
-    const DirectPlan plan = route_direct(topo, pi);
-    EXPECT_EQ(plan.max_demand, 1);
+    RoutingEngine engine(topo);
+    const FlatSchedule& plan = engine.route(pi, {RouteStrategy::kDirect});
+    EXPECT_EQ(engine.direct_max_demand(), 1);
     EXPECT_EQ(plan.slot_count(), 1);
-    EXPECT_TRUE(verify_schedule(topo, pi, plan.slots).ok);
+    EXPECT_TRUE(verify_schedule(topo, pi, plan).ok);
   }
 }
 
@@ -41,17 +46,20 @@ POPS_TEST(AdversarialTrafficSeparatesDirectFromTheorem2) {
        {std::pair{2, 4}, {4, 4}, {8, 2}, {3, 5}, {16, 4}}) {
     const Topology topo(d, g);
     const int n = topo.processor_count();
+    RoutingEngine engine(topo);
     const Permutation cases[] = {group_rotation(d, g, 1),
                                  vector_reversal(n)};
     for (const Permutation& pi : cases) {
-      const DirectPlan direct = route_direct(topo, pi);
-      EXPECT_EQ(direct.max_demand, d);
+      const FlatSchedule& direct =
+          engine.route(pi, {RouteStrategy::kDirect});
+      EXPECT_EQ(engine.direct_max_demand(), d);
       EXPECT_EQ(direct.slot_count(), d);
-      EXPECT_TRUE(verify_schedule(topo, pi, direct.slots).ok);
+      EXPECT_TRUE(verify_schedule(topo, pi, direct).ok);
 
-      const RoutePlan theorem2 = route_permutation(topo, pi);
+      const FlatSchedule& theorem2 =
+          engine.route(pi, {RouteStrategy::kTheorem2});
       EXPECT_EQ(theorem2.slot_count(), theorem2_slots(topo));
-      EXPECT_TRUE(verify_schedule(topo, pi, theorem2.slots).ok);
+      EXPECT_TRUE(verify_schedule(topo, pi, theorem2).ok);
     }
   }
 }
@@ -61,14 +69,16 @@ POPS_TEST(DirectTakesExactlyMaxDemandSlotsOnRandomTraffic) {
   for (const auto& [d, g] :
        {std::pair{1, 8}, {4, 4}, {8, 4}, {16, 2}, {6, 7}}) {
     const Topology topo(d, g);
+    RoutingEngine engine(topo);
     for (int trial = 0; trial < 5; ++trial) {
       const Permutation pi =
           Permutation::random(topo.processor_count(), rng);
-      const DirectPlan plan = route_direct(topo, pi);
-      EXPECT_EQ(plan.slot_count(), plan.max_demand);
+      const FlatSchedule& plan =
+          engine.route(pi, {RouteStrategy::kDirect});
+      EXPECT_EQ(plan.slot_count(), engine.direct_max_demand());
       // d*g packets over g^2 couplers: some coupler holds >= ceil(d/g).
-      EXPECT_TRUE(plan.max_demand >= (d + g - 1) / g);
-      EXPECT_TRUE(verify_schedule(topo, pi, plan.slots).ok);
+      EXPECT_TRUE(engine.direct_max_demand() >= (d + g - 1) / g);
+      EXPECT_TRUE(verify_schedule(topo, pi, plan).ok);
     }
   }
 }
@@ -79,18 +89,20 @@ POPS_TEST(PortfolioNeverExceedsEitherCandidate) {
        {std::pair{1, 8}, {2, 16}, {4, 4}, {16, 4}, {16, 2}}) {
     const Topology topo(d, g);
     const int n = topo.processor_count();
+    RoutingEngine engine(topo);
     const Permutation cases[] = {Permutation::random(n, rng),
                                  group_rotation(d, g, g > 1 ? 1 : 0),
                                  vector_reversal(n)};
     for (const Permutation& pi : cases) {
-      const PortfolioPlan plan = best_route(topo, pi);
-      EXPECT_EQ(plan.theorem2_slot_count, theorem2_slots(topo));
-      EXPECT_EQ(plan.direct_slot_count, route_direct(topo, pi).max_demand);
-      const int better = plan.direct_slot_count < plan.theorem2_slot_count
-                             ? plan.direct_slot_count
-                             : plan.theorem2_slot_count;
+      const FlatSchedule& plan = engine.route(pi, {RouteStrategy::kBest});
+      EXPECT_EQ(engine.theorem2_slot_count(), theorem2_slots(topo));
+      EXPECT_EQ(engine.direct_slot_count(), engine.direct_max_demand());
+      const int better =
+          engine.direct_slot_count() < engine.theorem2_slot_count()
+              ? engine.direct_slot_count()
+              : engine.theorem2_slot_count();
       EXPECT_EQ(plan.slot_count(), better);
-      EXPECT_TRUE(verify_schedule(topo, pi, plan.slots).ok);
+      EXPECT_TRUE(verify_schedule(topo, pi, plan).ok);
     }
   }
 }
@@ -99,22 +111,58 @@ POPS_TEST(PortfolioFlipsToTheorem2OnAdversarialTraffic) {
   // POPS(16, 4): Theorem 2 charges 8 slots, group rotation costs
   // direct routing 16 — the portfolio must pick Theorem 2.
   const Topology topo(16, 4);
-  const PortfolioPlan adversarial =
-      best_route(topo, group_rotation(16, 4, 1));
-  EXPECT_TRUE(adversarial.strategy == RouteStrategy::kTheorem2);
+  RoutingEngine engine(topo);
+  const FlatSchedule& adversarial =
+      engine.route(group_rotation(16, 4, 1), {RouteStrategy::kBest});
+  EXPECT_TRUE(engine.last_strategy() == RouteStrategy::kTheorem2);
   EXPECT_EQ(adversarial.slot_count(), theorem2_slots(topo));
 
   // Transpose traffic routes directly in one slot < 2; the portfolio
   // must pick direct.
   const Topology square(4, 4);
-  const PortfolioPlan easy = best_route(square, group_transpose(4));
-  EXPECT_TRUE(easy.strategy == RouteStrategy::kDirect);
+  RoutingEngine square_engine(square);
+  const FlatSchedule& easy =
+      square_engine.route(group_transpose(4), {RouteStrategy::kBest});
+  EXPECT_TRUE(square_engine.last_strategy() == RouteStrategy::kDirect);
   EXPECT_EQ(easy.slot_count(), 1);
 }
 
-POPS_TEST(RouteStrategyNames) {
-  EXPECT_EQ(to_string(RouteStrategy::kDirect), "direct");
-  EXPECT_EQ(to_string(RouteStrategy::kTheorem2), "theorem2");
+// The deprecated one-shot wrappers are documented as shims over the
+// engine: their nested plans must match the engine's flat schedules
+// transmission for transmission.
+POPS_TEST(DeprecatedDirectAndPortfolioShimsMatchEngine) {
+  Rng rng(25);
+  const Topology topo(8, 4);
+  const Permutation pi = Permutation::random(32, rng);
+  RoutingEngine engine(topo);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const DirectPlan direct = route_direct(topo, pi);
+  const PortfolioPlan best = best_route(topo, pi);
+#pragma GCC diagnostic pop
+
+  const FlatSchedule& engine_direct =
+      engine.route(pi, {RouteStrategy::kDirect});
+  EXPECT_EQ(direct.max_demand, engine.direct_max_demand());
+  EXPECT_EQ(direct.slot_count(), engine_direct.slot_count());
+  for (int s = 0; s < engine_direct.slot_count(); ++s) {
+    const Span<const Transmission> flat = engine_direct.slot(s);
+    const std::vector<Transmission>& nested =
+        direct.slots[as_size(s)].transmissions;
+    EXPECT_EQ(nested.size(), flat.size());
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      EXPECT_EQ(nested[i].source, flat[i].source);
+      EXPECT_EQ(nested[i].destination, flat[i].destination);
+      EXPECT_EQ(nested[i].packet, flat[i].packet);
+    }
+  }
+
+  const FlatSchedule& engine_best =
+      engine.route(pi, {RouteStrategy::kBest});
+  EXPECT_TRUE(best.strategy == engine.last_strategy());
+  EXPECT_EQ(best.theorem2_slot_count, engine.theorem2_slot_count());
+  EXPECT_EQ(best.direct_slot_count, engine.direct_slot_count());
+  EXPECT_EQ(best.slot_count(), engine_best.slot_count());
 }
 
 }  // namespace

@@ -47,7 +47,12 @@ POPS_TEST(EngineMatchesTheWrapperApi) {
   const Permutation pi = Permutation::random(12, rng);
   RoutingEngine engine(topo);
   const FlatSchedule& flat = engine.route_permutation(pi);
+  // The wrapper is deprecated; this test is exactly the shim contract
+  // the deprecation message promises, so the warning is suppressed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   const RoutePlan plan = route_permutation(topo, pi);
+#pragma GCC diagnostic pop
   EXPECT_EQ(plan.slot_count(), flat.slot_count());
   EXPECT_EQ(plan.intermediate_of.size(),
             engine.intermediate_of().size());
@@ -73,13 +78,19 @@ POPS_TEST(EngineDirectAndBestAgreeWithWrappers) {
          {Permutation::random(n, rng), vector_reversal(n),
           group_rotation(d, g, 1)}) {
       const FlatSchedule& direct = engine.route_direct(pi);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
       const DirectPlan direct_plan = route_direct(topo, pi);
+#pragma GCC diagnostic pop
       EXPECT_EQ(direct.slot_count(), direct_plan.slot_count());
       EXPECT_EQ(engine.direct_max_demand(), direct_plan.max_demand);
       EXPECT_TRUE(verify_schedule(topo, pi, direct).ok);
 
       const FlatSchedule& best = engine.route_best(pi);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
       const PortfolioPlan best_plan = best_route(topo, pi);
+#pragma GCC diagnostic pop
       EXPECT_EQ(best.slot_count(), best_plan.slot_count());
       EXPECT_TRUE(engine.best_strategy() == best_plan.strategy);
       EXPECT_EQ(engine.direct_slot_count(),
@@ -118,12 +129,14 @@ POPS_TEST(EngineSteadyStateNeverGrowsScratch) {
     }
     ScopedAllocationBan ban("test: engine steady state");
     for (const Permutation& pi : trials) {
+      // EXPECT_EQ streams both footprints on mismatch (the
+      // ScratchFootprint operator<<), so a regression names the sizes.
       engine.route_permutation(pi);
-      EXPECT_TRUE(engine.scratch_footprint() == warm);
+      EXPECT_EQ(engine.scratch_footprint(), warm);
       engine.route_direct(pi);
-      EXPECT_TRUE(engine.scratch_footprint() == warm);
+      EXPECT_EQ(engine.scratch_footprint(), warm);
       engine.route_best(pi);
-      EXPECT_TRUE(engine.scratch_footprint() == warm);
+      EXPECT_EQ(engine.scratch_footprint(), warm);
     }
   }
 }

@@ -1,3 +1,6 @@
+// route(topo, pi, options) — the one-shot entry point of the routing
+// API — plus the Theorem 2 slot formula and the deprecated
+// route_permutation shim it replaced.
 #include "perm/families.h"
 #include "routing/router.h"
 #include "routing/verify.h"
@@ -6,6 +9,10 @@
 
 namespace pops {
 namespace {
+
+constexpr RouteStrategy kAllStrategies[] = {
+    RouteStrategy::kDirect, RouteStrategy::kTheorem2,
+    RouteStrategy::kBest};
 
 POPS_TEST(Theorem2SlotsFormula) {
   EXPECT_EQ(theorem2_slots(Topology(1, 1)), 1);
@@ -17,6 +24,12 @@ POPS_TEST(Theorem2SlotsFormula) {
   EXPECT_EQ(theorem2_slots(Topology(16, 4)), 8);
   EXPECT_EQ(theorem2_slots(Topology(17, 4)), 10);
   EXPECT_EQ(theorem2_slots(Topology(32, 32)), 2);
+}
+
+POPS_TEST(RouteStrategyNames) {
+  EXPECT_EQ(to_string(RouteStrategy::kDirect), "direct");
+  EXPECT_EQ(to_string(RouteStrategy::kTheorem2), "theorem2");
+  EXPECT_EQ(to_string(RouteStrategy::kBest), "best");
 }
 
 // The paper's headline claim, machine-checked: for every topology in
@@ -37,9 +50,13 @@ POPS_TEST(RoutesEveryPermutationClassAtTheBound) {
         cases.push_back(Permutation::random_derangement(n, rng));
       }
       for (const Permutation& pi : cases) {
-        const RoutePlan plan = route_permutation(topo, pi);
-        EXPECT_EQ(plan.slot_count(), theorem2_slots(topo));
-        const VerificationResult vr = verify_schedule(topo, pi, plan.slots);
+        const RouteResult result =
+            route(topo, pi, {RouteStrategy::kTheorem2});
+        EXPECT_EQ(result.slot_count, theorem2_slots(topo));
+        EXPECT_EQ(result.schedule.slot_count(), result.slot_count);
+        EXPECT_TRUE(result.strategy == RouteStrategy::kTheorem2);
+        const VerificationResult vr =
+            verify_schedule(topo, pi, result.schedule);
         EXPECT_TRUE(vr.ok);
         if (!vr.ok) {
           EXPECT_EQ(vr.failure, "");  // surface the reason in the log
@@ -49,41 +66,75 @@ POPS_TEST(RoutesEveryPermutationClassAtTheBound) {
   }
 }
 
+// Satellite coverage for the unified entry point: every strategy, with
+// and without verification, yields a verified schedule and coherent
+// RouteResult fields. (options.verify aborts on a bad schedule, so a
+// returning call IS the assertion for the verify=true half.)
+POPS_TEST(RouteEveryStrategyWithAndWithoutVerify) {
+  Rng rng(21);
+  for (const auto& [d, g] : {std::pair{1, 4}, {4, 4}, {8, 2}, {3, 5}}) {
+    const Topology topo(d, g);
+    const Permutation pi =
+        Permutation::random(topo.processor_count(), rng);
+    for (const RouteStrategy strategy : kAllStrategies) {
+      for (const bool verify : {false, true}) {
+        RouteOptions options;
+        options.strategy = strategy;
+        options.verify = verify;
+        const RouteResult result = route(topo, pi, options);
+        EXPECT_EQ(result.slot_count, result.schedule.slot_count());
+        EXPECT_TRUE(result.slot_count >= 1);
+        EXPECT_TRUE(verify_schedule(topo, pi, result.schedule).ok);
+        if (strategy == RouteStrategy::kTheorem2) {
+          EXPECT_EQ(result.slot_count, theorem2_slots(topo));
+          EXPECT_TRUE(result.strategy == RouteStrategy::kTheorem2);
+        }
+        if (strategy == RouteStrategy::kDirect) {
+          EXPECT_TRUE(result.strategy == RouteStrategy::kDirect);
+        }
+        if (strategy == RouteStrategy::kBest) {
+          // kBest reports the concrete winner, never itself, and the
+          // winner is no worse than the Theorem 2 bound.
+          EXPECT_TRUE(result.strategy != RouteStrategy::kBest);
+          EXPECT_TRUE(result.slot_count <= theorem2_slots(topo));
+        }
+      }
+    }
+  }
+}
+
+// kBest picks the shorter candidate on both sides of the crossover.
+POPS_TEST(RouteBestPicksTheWinner) {
+  const Topology adversarial_topo(16, 4);
+  const RouteResult adversarial = route(
+      adversarial_topo, group_rotation(16, 4, 1), {RouteStrategy::kBest});
+  EXPECT_TRUE(adversarial.strategy == RouteStrategy::kTheorem2);
+  EXPECT_EQ(adversarial.slot_count, theorem2_slots(adversarial_topo));
+
+  const Topology square(4, 4);
+  // Transpose traffic: one packet per coupler, direct wins in 1 slot.
+  std::vector<int> images(16);
+  for (int p = 0; p < 16; ++p) images[as_size(p)] = (p % 4) * 4 + p / 4;
+  const RouteResult easy =
+      route(square, Permutation(std::move(images)), {RouteStrategy::kBest});
+  EXPECT_TRUE(easy.strategy == RouteStrategy::kDirect);
+  EXPECT_EQ(easy.slot_count, 1);
+}
+
 POPS_TEST(AllColoringBackendsProduceVerifiedPlans) {
   Rng rng(18);
   for (const auto algorithm : kAllColoringAlgorithms) {
-    RouterOptions options;
+    RouteOptions options;
+    options.strategy = RouteStrategy::kTheorem2;
     options.coloring = algorithm;
     for (const auto& [d, g] :
          {std::pair{2, 2}, {4, 2}, {3, 4}, {7, 3}, {8, 8}}) {
       const Topology topo(d, g);
       const Permutation pi =
           Permutation::random(topo.processor_count(), rng);
-      const RoutePlan plan = route_permutation(topo, pi, options);
-      EXPECT_EQ(plan.slot_count(), theorem2_slots(topo));
-      EXPECT_TRUE(verify_schedule(topo, pi, plan.slots).ok);
-    }
-  }
-}
-
-POPS_TEST(IntermediatesAreConsistent) {
-  Rng rng(19);
-  const Topology topo(4, 3);
-  const Permutation pi = Permutation::random(12, rng);
-  const RoutePlan plan = route_permutation(topo, pi);
-  EXPECT_EQ(plan.intermediate_of.size(), std::size_t{12});
-  for (int s = 0; s < 12; ++s) {
-    const int mid = plan.intermediate_of[as_size(s)];
-    EXPECT_TRUE(mid >= 0 && mid < topo.processor_count());
-  }
-  // Within one batch (pair of slots), intermediates are distinct
-  // processors; across the whole plan every packet has exactly one.
-  for (std::size_t slot = 0; slot + 1 < plan.slots.size(); slot += 2) {
-    std::vector<bool> used(as_size(topo.processor_count()), false);
-    for (const Transmission& t : plan.slots[slot].transmissions) {
-      EXPECT_FALSE(used[as_size(t.destination)]);
-      used[as_size(t.destination)] = true;
-      EXPECT_EQ(plan.intermediate_of[as_size(t.packet)], t.destination);
+      const RouteResult result = route(topo, pi, options);
+      EXPECT_EQ(result.slot_count, theorem2_slots(topo));
+      EXPECT_TRUE(verify_schedule(topo, pi, result.schedule).ok);
     }
   }
 }
@@ -92,9 +143,54 @@ POPS_TEST(SingleSlotTopologyRoutesDirectly) {
   Rng rng(20);
   const Topology topo(1, 8);
   const Permutation pi = Permutation::random(8, rng);
-  const RoutePlan plan = route_permutation(topo, pi);
-  EXPECT_EQ(plan.slot_count(), 1);
-  EXPECT_TRUE(verify_schedule(topo, pi, plan.slots).ok);
+  const RouteResult result = route(topo, pi, {RouteStrategy::kTheorem2});
+  EXPECT_EQ(result.slot_count, 1);
+  EXPECT_TRUE(verify_schedule(topo, pi, result.schedule).ok);
+}
+
+// The deprecated wrapper must keep producing exactly the schedule the
+// canonical entry point produces (it is documented as a shim, so
+// "equivalent" means transmission-for-transmission identical), plus
+// the legacy intermediate_of payload.
+POPS_TEST(DeprecatedRoutePermutationShimMatchesRoute) {
+  Rng rng(19);
+  for (const auto& [d, g] : {std::pair{4, 3}, {1, 8}, {8, 8}}) {
+    const Topology topo(d, g);
+    const int n = topo.processor_count();
+    const Permutation pi = Permutation::random(n, rng);
+    const RouteResult result = route(topo, pi, {RouteStrategy::kTheorem2});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    const RoutePlan plan = route_permutation(topo, pi);
+#pragma GCC diagnostic pop
+    EXPECT_EQ(plan.slot_count(), result.slot_count);
+    for (int s = 0; s < result.slot_count; ++s) {
+      const Span<const Transmission> flat = result.schedule.slot(s);
+      const std::vector<Transmission>& nested =
+          plan.slots[as_size(s)].transmissions;
+      EXPECT_EQ(nested.size(), flat.size());
+      for (std::size_t i = 0; i < flat.size(); ++i) {
+        EXPECT_EQ(nested[i].source, flat[i].source);
+        EXPECT_EQ(nested[i].destination, flat[i].destination);
+        EXPECT_EQ(nested[i].packet, flat[i].packet);
+      }
+    }
+    // Legacy intermediates: one in-range intermediate per packet,
+    // consistent with the first slot of each batch pair.
+    EXPECT_EQ(plan.intermediate_of.size(), as_size(n));
+    for (int s = 0; s < n; ++s) {
+      const int mid = plan.intermediate_of[as_size(s)];
+      EXPECT_TRUE(mid >= 0 && mid < n);
+    }
+    for (std::size_t slot = 0; slot + 1 < plan.slots.size(); slot += 2) {
+      std::vector<bool> used(as_size(n), false);
+      for (const Transmission& t : plan.slots[slot].transmissions) {
+        EXPECT_FALSE(used[as_size(t.destination)]);
+        used[as_size(t.destination)] = true;
+        EXPECT_EQ(plan.intermediate_of[as_size(t.packet)], t.destination);
+      }
+    }
+  }
 }
 
 }  // namespace

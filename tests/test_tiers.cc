@@ -78,6 +78,11 @@ POPS_TEST(TiersEveryGridPointIsValidForTopology) {
     EXPECT_TRUE(spec.serve_table_windows >= 1);
     EXPECT_TRUE(spec.soak_windows >= 1);
     EXPECT_TRUE(spec.random_trials >= 1);
+    EXPECT_FALSE(spec.batch_threads.empty());
+    for (const int threads : spec.batch_threads) {
+      EXPECT_TRUE(threads >= 1);
+    }
+    EXPECT_TRUE(spec.batch_perms >= 1);
   }
 }
 

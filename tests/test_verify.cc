@@ -1,6 +1,8 @@
 // Satellite: negative-path coverage for verify_schedule. A schedule
 // that oversubscribes a coupler and one that misdelivers a packet must
-// both fail verification with a useful failure string.
+// both fail verification with a useful failure string. Hand-built
+// schedules use the canonical FlatSchedule layout; one test pins the
+// deprecated nested overload to the same verdicts.
 #include "perm/families.h"
 #include "routing/router.h"
 #include "routing/verify.h"
@@ -13,8 +15,8 @@ namespace {
 POPS_TEST(AcceptsACorrectSchedule) {
   const Topology topo(2, 2);
   const Permutation pi = vector_reversal(4);
-  const RoutePlan plan = route_permutation(topo, pi);
-  const VerificationResult vr = verify_schedule(topo, pi, plan.slots);
+  const RouteResult result = route(topo, pi, {RouteStrategy::kTheorem2});
+  const VerificationResult vr = verify_schedule(topo, pi, result.schedule);
   EXPECT_TRUE(vr.ok);
   EXPECT_EQ(vr.failure, "");
 }
@@ -25,10 +27,11 @@ POPS_TEST(RejectsCouplerOversubscription) {
   // coupler c(1, 0) twice.
   const Topology topo(2, 2);
   const Permutation pi = vector_reversal(4);
-  SlotPlan slot;
-  slot.transmissions.push_back(Transmission{0, 3, 0});
-  slot.transmissions.push_back(Transmission{1, 2, 1});
-  const VerificationResult vr = verify_schedule(topo, pi, {slot});
+  FlatSchedule schedule;
+  schedule.begin_slot();
+  schedule.push(Transmission{0, 3, 0});
+  schedule.push(Transmission{1, 2, 1});
+  const VerificationResult vr = verify_schedule(topo, pi, schedule);
   EXPECT_FALSE(vr.ok);
   EXPECT_TRUE(vr.failure.find("coupler") != std::string::npos);
   EXPECT_TRUE(vr.failure.find("oversubscribed") != std::string::npos);
@@ -39,13 +42,14 @@ POPS_TEST(RejectsMisdelivery) {
   // parks packets 1 and 2 at the wrong processors.
   const Topology topo(2, 2);
   const Permutation pi = vector_reversal(4);  // 0->3 1->2 2->1 3->0
-  SlotPlan first;                             // valid slot, wrong drops:
-  first.transmissions.push_back(Transmission{2, 0, 2});  // 2 wants 1
-  first.transmissions.push_back(Transmission{1, 3, 1});  // 1 wants 2
-  SlotPlan second;  // deliver packets 0 and 3 correctly
-  second.transmissions.push_back(Transmission{0, 3, 0});
-  second.transmissions.push_back(Transmission{3, 0, 3});
-  const VerificationResult vr = verify_schedule(topo, pi, {first, second});
+  FlatSchedule schedule;
+  schedule.begin_slot();  // valid slot, wrong drops:
+  schedule.push(Transmission{2, 0, 2});  // 2 wants 1
+  schedule.push(Transmission{1, 3, 1});  // 1 wants 2
+  schedule.begin_slot();  // deliver packets 0 and 3 correctly
+  schedule.push(Transmission{0, 3, 0});
+  schedule.push(Transmission{3, 0, 3});
+  const VerificationResult vr = verify_schedule(topo, pi, schedule);
   EXPECT_FALSE(vr.ok);
   EXPECT_TRUE(vr.failure.find("packet") != std::string::npos);
   EXPECT_TRUE(vr.failure.find("stranded") != std::string::npos);
@@ -55,8 +59,7 @@ POPS_TEST(RejectsUndeliveredPackets) {
   // An empty schedule delivers nothing (except fixed points).
   const Topology topo(2, 2);
   const Permutation pi = vector_reversal(4);
-  const VerificationResult vr =
-      verify_schedule(topo, pi, std::vector<SlotPlan>{});
+  const VerificationResult vr = verify_schedule(topo, pi, FlatSchedule{});
   EXPECT_FALSE(vr.ok);
   EXPECT_TRUE(vr.failure.find("stranded") != std::string::npos);
 }
@@ -64,9 +67,10 @@ POPS_TEST(RejectsUndeliveredPackets) {
 POPS_TEST(RejectsPhantomSend) {
   const Topology topo(2, 2);
   const Permutation pi = Permutation::identity(4);
-  SlotPlan slot;
-  slot.transmissions.push_back(Transmission{0, 1, 3});  // 0 holds 0, not 3
-  const VerificationResult vr = verify_schedule(topo, pi, {slot});
+  FlatSchedule schedule;
+  schedule.begin_slot();
+  schedule.push(Transmission{0, 1, 3});  // 0 holds 0, not 3
+  const VerificationResult vr = verify_schedule(topo, pi, schedule);
   EXPECT_FALSE(vr.ok);
   EXPECT_TRUE(vr.failure.find("does not hold packet") !=
               std::string::npos);
@@ -79,18 +83,40 @@ POPS_TEST(RejectsScheduleForTheWrongPermutation) {
   const Permutation pi = Permutation::random_derangement(16, rng);
   const Permutation pi2 = Permutation::random_derangement(16, rng);
   EXPECT_FALSE(pi.images() == pi2.images());
-  const RoutePlan plan = route_permutation(topo, pi2);
-  EXPECT_TRUE(verify_schedule(topo, pi2, plan.slots).ok);
-  const VerificationResult vr = verify_schedule(topo, pi, plan.slots);
+  const RouteResult result = route(topo, pi2, {RouteStrategy::kTheorem2});
+  EXPECT_TRUE(verify_schedule(topo, pi2, result.schedule).ok);
+  const VerificationResult vr = verify_schedule(topo, pi, result.schedule);
   EXPECT_FALSE(vr.ok);
   EXPECT_FALSE(vr.failure.empty());
 }
 
 POPS_TEST(RejectsSizeMismatch) {
   const VerificationResult vr = verify_schedule(
-      Topology(2, 2), Permutation::identity(3), std::vector<SlotPlan>{});
+      Topology(2, 2), Permutation::identity(3), FlatSchedule{});
   EXPECT_FALSE(vr.ok);
   EXPECT_TRUE(vr.failure.find("does not fit") != std::string::npos);
+}
+
+POPS_TEST(DeprecatedNestedOverloadDelegates) {
+  // The nested vector<SlotPlan> overload must reach the same verdicts
+  // as the flat path: accept a correct schedule, reject an
+  // oversubscribed one with the same diagnostic.
+  const Topology topo(2, 2);
+  const Permutation pi = vector_reversal(4);
+  const std::vector<SlotPlan> good =
+      route(topo, pi, {RouteStrategy::kTheorem2})
+          .schedule.to_slot_plans();
+  SlotPlan oversubscribed;
+  oversubscribed.transmissions.push_back(Transmission{0, 3, 0});
+  oversubscribed.transmissions.push_back(Transmission{1, 2, 1});
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_TRUE(verify_schedule(topo, pi, good).ok);
+  const VerificationResult vr =
+      verify_schedule(topo, pi, {oversubscribed});
+#pragma GCC diagnostic pop
+  EXPECT_FALSE(vr.ok);
+  EXPECT_TRUE(vr.failure.find("oversubscribed") != std::string::npos);
 }
 
 }  // namespace
