@@ -23,11 +23,15 @@ BipartiteMultigraph random_regular(int n, int degree, Rng& rng) {
 
 double ns_per_edge(const BipartiteMultigraph& g,
                    ColoringAlgorithm algorithm) {
+  // Warm reusable colorer: rep 0 sizes the flat scratch, later reps
+  // measure the allocation-free steady state the engine actually runs.
+  EdgeColorer colorer;
+  EdgeColoring coloring;
   double best = 1e99;
-  for (int rep = 0; rep < 3; ++rep) {
+  for (int rep = 0; rep < 4; ++rep) {
     Timer timer;
-    const EdgeColoring coloring = color_edges(g, algorithm);
-    best = std::min(best, timer.nanos());
+    colorer.color(g, algorithm, coloring);
+    if (rep > 0) best = std::min(best, timer.nanos());
     POPS_CHECK(is_valid_edge_coloring(g, coloring),
                "invalid coloring in benchmark");
   }
@@ -63,10 +67,19 @@ void BM_EdgeColoring(benchmark::State& state) {
       static_cast<int>(state.range(0)), static_cast<int>(state.range(1)),
       rng);
   const auto algorithm = static_cast<ColoringAlgorithm>(state.range(2));
+  // Warm reusable colorer, as held by a RoutingEngine: the loop times
+  // the zero-steady-state-allocation path of each backend.
+  EdgeColorer colorer;
+  EdgeColoring coloring;
+  colorer.color(g, algorithm, coloring);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(color_edges(g, algorithm));
+    colorer.color(g, algorithm, coloring);
+    benchmark::DoNotOptimize(coloring.color.data());
   }
   state.SetItemsProcessed(state.iterations() * g.edge_count());
+  state.counters["edges_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * g.edge_count()),
+      benchmark::Counter::kIsRate);
   state.SetLabel(to_string(algorithm));
 }
 

@@ -1,159 +1,8 @@
 #include "graph/edge_coloring.h"
 
 #include <algorithm>
-#include <utility>
-
-#include "graph/euler_split.h"
-#include "graph/hopcroft_karp.h"
 
 namespace pops {
-namespace {
-
-// ---------------------------------------------------------------------
-// Regularization + divide-and-conquer backends.
-// ---------------------------------------------------------------------
-
-// Pads the graph to a Delta-regular multigraph on max(L, R) + max(L, R)
-// vertices. Original edge ids are preserved; dummy edges get the ids
-// >= graph.edge_count().
-BipartiteMultigraph regularize(const BipartiteMultigraph& graph,
-                               int delta) {
-  const int n = std::max(graph.left_count(), graph.right_count());
-  BipartiteMultigraph regular(n, n);
-  for (const Edge& e : graph.edges()) regular.add_edge(e.left, e.right);
-  int right = 0;
-  for (int left = 0; left < n; ++left) {
-    while (regular.left_degree(left) < delta) {
-      while (right < n && regular.right_degree(right) >= delta) ++right;
-      POPS_CHECK(right < n, "regularize: right side has no deficit left");
-      regular.add_edge(left, right);
-    }
-  }
-  return regular;
-}
-
-struct Subgraph {
-  BipartiteMultigraph graph;
-  std::vector<int> to_master;  // subgraph edge id -> master edge id
-};
-
-Subgraph full_subgraph(const BipartiteMultigraph& master) {
-  Subgraph sub{BipartiteMultigraph(master.left_count(),
-                                   master.right_count()),
-               {}};
-  sub.to_master.reserve(as_size(master.edge_count()));
-  for (int id = 0; id < master.edge_count(); ++id) {
-    sub.graph.add_edge(master.edge(id).left, master.edge(id).right);
-    sub.to_master.push_back(id);
-  }
-  return sub;
-}
-
-// Peels one perfect matching off `sub` (a regular bipartite multigraph
-// always has one), records `color_value` for the matched edges, and
-// returns the remainder, whose regular degree is one lower.
-Subgraph peel_perfect_matching(const Subgraph& sub, int color_value,
-                               std::vector<int>& master_color) {
-  const MatchingResult matching = maximum_matching(sub.graph);
-  POPS_CHECK(matching.is_perfect(sub.graph),
-             "regular multigraph without a perfect matching");
-  std::vector<bool> matched(as_size(sub.graph.edge_count()), false);
-  for (const int e : matching.left_edge) {
-    POPS_CHECK(e >= 0, "perfect matching left a vertex unmatched");
-    matched[as_size(e)] = true;
-    master_color[as_size(sub.to_master[as_size(e)])] = color_value;
-  }
-  Subgraph rest{BipartiteMultigraph(sub.graph.left_count(),
-                                    sub.graph.right_count()),
-                {}};
-  rest.to_master.reserve(
-      as_size(sub.graph.edge_count() - matching.size));
-  for (int e = 0; e < sub.graph.edge_count(); ++e) {
-    if (!matched[as_size(e)]) {
-      rest.graph.add_edge(sub.graph.edge(e).left,
-                          sub.graph.edge(e).right);
-      rest.to_master.push_back(sub.to_master[as_size(e)]);
-    }
-  }
-  return rest;
-}
-
-// Recursively colors a delta-regular (on its support) multigraph whose
-// edges map back to master ids, writing colors [base, base + delta).
-// bottom_degree is 1 for the euler-split backend and 2 for circuit-peel
-// (which two-colors the final circuits directly by alternation).
-void color_regular_recursive(const Subgraph& sub, int delta, int base,
-                             int bottom_degree,
-                             std::vector<int>& master_color) {
-  if (sub.graph.edge_count() == 0) return;
-  if (delta == 1) {
-    for (const int id : sub.to_master) master_color[as_size(id)] = base;
-    return;
-  }
-  if (delta == 2 && bottom_degree == 2) {
-    // 2-regular components are even circuits; alternation along each
-    // circuit is a proper 2-coloring.
-    const EulerSplitResult split = euler_split(sub.graph);
-    for (int e = 0; e < sub.graph.edge_count(); ++e) {
-      master_color[as_size(sub.to_master[as_size(e)])] =
-          base + split.side[as_size(e)];
-    }
-    return;
-  }
-  if (delta % 2 == 1) {
-    // Peel one perfect matching, then recurse on the even-degree
-    // remainder.
-    color_regular_recursive(
-        peel_perfect_matching(sub, base + delta - 1, master_color),
-        delta - 1, base, bottom_degree, master_color);
-    return;
-  }
-  // Even degree: Euler split into two exactly (delta/2)-regular halves.
-  const EulerSplitResult split = euler_split(sub.graph);
-  BipartiteMultigraph halves[2] = {
-      BipartiteMultigraph(sub.graph.left_count(),
-                          sub.graph.right_count()),
-      BipartiteMultigraph(sub.graph.left_count(),
-                          sub.graph.right_count())};
-  std::vector<int> maps[2];
-  for (int e = 0; e < sub.graph.edge_count(); ++e) {
-    const int s = split.side[as_size(e)];
-    halves[s].add_edge(sub.graph.edge(e).left, sub.graph.edge(e).right);
-    maps[s].push_back(sub.to_master[as_size(e)]);
-  }
-  color_regular_recursive(
-      Subgraph{std::move(halves[0]), std::move(maps[0])}, delta / 2,
-      base, bottom_degree, master_color);
-  color_regular_recursive(
-      Subgraph{std::move(halves[1]), std::move(maps[1])}, delta / 2,
-      base + delta / 2, bottom_degree, master_color);
-}
-
-void color_via_splits(const BipartiteMultigraph& graph, int delta,
-                      int bottom_degree, EdgeColoring& out) {
-  const BipartiteMultigraph regular = regularize(graph, delta);
-  std::vector<int> padded_color(as_size(regular.edge_count()), -1);
-  color_regular_recursive(full_subgraph(regular), delta, 0,
-                          bottom_degree, padded_color);
-  padded_color.resize(as_size(graph.edge_count()));
-  out.color.assign(padded_color.begin(), padded_color.end());
-  out.num_colors = delta;
-}
-
-void color_by_matching_peel(const BipartiteMultigraph& graph, int delta,
-                            EdgeColoring& out) {
-  const BipartiteMultigraph regular = regularize(graph, delta);
-  std::vector<int> padded_color(as_size(regular.edge_count()), -1);
-  Subgraph remaining = full_subgraph(regular);
-  for (int round = 0; round < delta; ++round) {
-    remaining = peel_perfect_matching(remaining, round, padded_color);
-  }
-  padded_color.resize(as_size(graph.edge_count()));
-  out.color.assign(padded_color.begin(), padded_color.end());
-  out.num_colors = delta;
-}
-
-}  // namespace
 
 std::string to_string(ColoringAlgorithm algorithm) {
   switch (algorithm) {
@@ -170,11 +19,6 @@ std::string to_string(ColoringAlgorithm algorithm) {
   return "";
 }
 
-// ---------------------------------------------------------------------
-// EdgeColorer: alternating-path backend (constructive König proof) on
-// reusable flat scratch, plus the fair-distribution rebalancer.
-// ---------------------------------------------------------------------
-
 void EdgeColorer::color(const BipartiteMultigraph& graph,
                         ColoringAlgorithm algorithm, EdgeColoring& out) {
   const int delta = graph.max_degree();
@@ -188,17 +32,194 @@ void EdgeColorer::color(const BipartiteMultigraph& graph,
       color_alternating(graph, delta, out);
       return;
     case ColoringAlgorithm::kEulerSplit:
-      color_via_splits(graph, delta, /*bottom_degree=*/1, out);
+      color_dnc(graph, delta, /*bottom_degree=*/1, out);
       return;
     case ColoringAlgorithm::kMatchingPeel:
-      color_by_matching_peel(graph, delta, out);
+      color_matching_peel(graph, delta, out);
       return;
     case ColoringAlgorithm::kCircuitPeel:
-      color_via_splits(graph, delta, /*bottom_degree=*/2, out);
+      color_dnc(graph, delta, /*bottom_degree=*/2, out);
       return;
   }
   POPS_CHECK(false, "unknown ColoringAlgorithm");
 }
+
+// ---------------------------------------------------------------------
+// Divide-and-conquer backends on flat scratch.
+//
+// setup_regular pads the input to a delta-regular multigraph on
+// max(L, R) + max(L, R) vertices inside dc_edges_ (original edge ids
+// preserved, dummy edges get ids >= edge_count). From then on every
+// step works on a range [lo, hi) of dc_work_, a permutation of padded
+// edge ids: Euler splits partition a range in place, matching peels
+// compact it, and an explicit DncRange stack replaces the recursion.
+// ---------------------------------------------------------------------
+
+int EdgeColorer::setup_regular(const BipartiteMultigraph& graph,
+                               int delta) {
+  const int n = std::max(graph.left_count(), graph.right_count());
+  const int m = graph.edge_count();
+  const int m_pad = delta * n;
+  regular_n_ = n;
+  dc_edges_.resize(as_size(m_pad));
+  dc_deg_left_.assign(as_size(n), 0);
+  dc_deg_right_.assign(as_size(n), 0);
+  const Edge* src = graph.edges().data();
+  Edge* edges = dc_edges_.data();
+  int* deg_left = dc_deg_left_.data();
+  int* deg_right = dc_deg_right_.data();
+  for (int e = 0; e < m; ++e) {
+    edges[e] = src[e];
+    ++deg_left[src[e].left];
+    ++deg_right[src[e].right];
+  }
+  int next_id = m;
+  int right = 0;
+  for (int left = 0; left < n; ++left) {
+    while (deg_left[left] < delta) {
+      while (right < n && deg_right[right] >= delta) ++right;
+      POPS_CHECK(right < n,
+                 "regularize: right side has no deficit left");
+      edges[next_id++] = Edge{left, right};
+      ++deg_left[left];
+      ++deg_right[right];
+    }
+  }
+  POPS_CHECK(next_id == m_pad, "regularize: padded edge count mismatch");
+  dc_color_.assign(as_size(m_pad), -1);
+  dc_work_.resize(as_size(m_pad));
+  for (int e = 0; e < m_pad; ++e) dc_work_[as_size(e)] = e;
+  dc_aux_.resize(as_size(m_pad));
+  dc_side_.resize(as_size(m_pad));
+  return m_pad;
+}
+
+void EdgeColorer::build_range_view(int lo, int hi) {
+  dc_adj_.build_subset(
+      Span<const int>(dc_work_.data() + lo, as_size(hi - lo)),
+      Span<const Edge>(dc_edges_), regular_n_, regular_n_);
+}
+
+// Euler-splits the range's edges, writing dc_side_[edge id] for every
+// edge in [lo, hi).
+void EdgeColorer::split_range(int lo, int hi) {
+  build_range_view(lo, hi);
+  dc_euler_.split(dc_adj_, Span<const Edge>(dc_edges_),
+                  Span<int>(dc_side_));
+}
+
+// Peels one perfect matching off the range (a regular bipartite
+// multigraph always has one), colors the matched edges, compacts the
+// rest to the front, and returns the new range end.
+int EdgeColorer::peel_matching(int lo, int hi, int color_value) {
+  build_range_view(lo, hi);
+  const int size =
+      dc_matching_.match(dc_adj_, Span<const Edge>(dc_edges_));
+  POPS_CHECK(size == regular_n_,
+             "regular multigraph without a perfect matching");
+  const int* match_left = dc_matching_.left_edges().data();
+  const Edge* edges = dc_edges_.data();
+  int* color = dc_color_.data();
+  int* work = dc_work_.data();
+  int write = lo;
+  for (int i = lo; i < hi; ++i) {
+    const int e = work[i];
+    if (match_left[edges[e].left] == e) {
+      color[e] = color_value;
+    } else {
+      work[write++] = e;
+    }
+  }
+  return write;
+}
+
+void EdgeColorer::color_dnc(const BipartiteMultigraph& graph, int delta,
+                            int bottom_degree, EdgeColoring& out) {
+  const int m_pad = setup_regular(graph, delta);
+  dc_stack_.reserve(64);
+  dc_stack_.clear();
+  if (m_pad > 0) dc_stack_.push_back(DncRange{0, m_pad, delta, 0});
+  int* color = dc_color_.data();
+  int* work = dc_work_.data();
+  const int* side = dc_side_.data();
+  while (!dc_stack_.empty()) {
+    const DncRange range = dc_stack_.back();
+    dc_stack_.pop_back();
+    if (range.lo >= range.hi) continue;
+    if (range.delta == 1) {
+      for (int i = range.lo; i < range.hi; ++i) {
+        color[work[i]] = range.base;
+      }
+      continue;
+    }
+    if (range.delta == 2 && bottom_degree == 2) {
+      // 2-regular components are even circuits; alternation along each
+      // circuit is a proper 2-coloring.
+      split_range(range.lo, range.hi);
+      for (int i = range.lo; i < range.hi; ++i) {
+        const int e = work[i];
+        color[e] = range.base + side[e];
+      }
+      continue;
+    }
+    if (range.delta % 2 == 1) {
+      // Peel one perfect matching, then continue on the even-degree
+      // remainder.
+      const int new_hi = peel_matching(range.lo, range.hi,
+                                       range.base + range.delta - 1);
+      dc_stack_.push_back(
+          DncRange{range.lo, new_hi, range.delta - 1, range.base});
+      continue;
+    }
+    // Even degree: Euler split into two exactly (delta/2)-regular
+    // halves; stable-partition the work range by side (side 0 compacts
+    // in place, side 1 spills through dc_aux_).
+    split_range(range.lo, range.hi);
+    int* aux = dc_aux_.data();
+    int write = range.lo;
+    int spill = 0;
+    for (int i = range.lo; i < range.hi; ++i) {
+      const int e = work[i];
+      if (side[e] == 0) {
+        work[write++] = e;
+      } else {
+        aux[spill++] = e;
+      }
+    }
+    std::copy(aux, aux + spill, work + write);
+    const int mid = write;
+    POPS_CHECK(mid - range.lo == (range.hi - range.lo) / 2,
+               "euler split: uneven halves of a regular range");
+    dc_stack_.push_back(DncRange{mid, range.hi, range.delta / 2,
+                                 range.base + range.delta / 2});
+    dc_stack_.push_back(
+        DncRange{range.lo, mid, range.delta / 2, range.base});
+  }
+  finish_dnc(graph, delta, out);
+}
+
+void EdgeColorer::color_matching_peel(const BipartiteMultigraph& graph,
+                                      int delta, EdgeColoring& out) {
+  int hi = setup_regular(graph, delta);
+  for (int round = 0; round < delta; ++round) {
+    hi = peel_matching(0, hi, round);
+  }
+  POPS_CHECK(hi == 0, "matching peel left uncolored edges");
+  finish_dnc(graph, delta, out);
+}
+
+// Drops the dummy padding edges (their ids come after the real ones).
+void EdgeColorer::finish_dnc(const BipartiteMultigraph& graph, int delta,
+                             EdgeColoring& out) {
+  out.color.assign(dc_color_.begin(),
+                   dc_color_.begin() + graph.edge_count());
+  out.num_colors = delta;
+}
+
+// ---------------------------------------------------------------------
+// Alternating-path backend (constructive König proof) on reusable flat
+// scratch, plus the fair-distribution rebalancer.
+// ---------------------------------------------------------------------
 
 void EdgeColorer::color_alternating(const BipartiteMultigraph& graph,
                                     int delta, EdgeColoring& out) {
@@ -377,7 +398,12 @@ std::size_t EdgeColorer::scratch_capacity() const {
   return left_slot_.capacity() + right_slot_.capacity() +
          path_.capacity() + sizes_.capacity() + slot_a_.capacity() +
          slot_b_.capacity() + walked_.capacity() +
-         spread_path_.capacity();
+         spread_path_.capacity() + dc_edges_.capacity() +
+         dc_color_.capacity() + dc_work_.capacity() +
+         dc_aux_.capacity() + dc_side_.capacity() +
+         dc_deg_left_.capacity() + dc_deg_right_.capacity() +
+         dc_stack_.capacity() + dc_adj_.scratch_capacity() +
+         dc_euler_.scratch_capacity() + dc_matching_.scratch_capacity();
 }
 
 EdgeColoring color_edges(const BipartiteMultigraph& graph,

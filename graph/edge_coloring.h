@@ -23,6 +23,8 @@
 #include <string>
 
 #include "graph/bipartite_multigraph.h"
+#include "graph/euler_split.h"
+#include "graph/hopcroft_karp.h"
 #include "support/thread_annotations.h"
 
 namespace pops {
@@ -55,16 +57,20 @@ struct EdgeColoring {
 /// are written into caller-provided EdgeColoring storage, whose
 /// capacity is likewise reused across calls.
 ///
+/// Every backend runs on flat scratch. The alternating-path backend
+/// uses vertex-major color-slot tables; the divide-and-conquer
+/// backends (euler-split, matching-peel, circuit-peel) run iteratively
+/// over index ranges of one padded delta-regular edge array, rebuilding
+/// a CsrAdjacency view per range instead of copying subgraphs — no
+/// transient BipartiteMultigraph, no per-recursion vectors.
+///
 /// Thread-compatible, not thread-safe: the scratch tables make every
 /// call a mutation, so use one colorer per thread (see
 /// support/thread_annotations.h).
 class POPS_THREAD_COMPATIBLE EdgeColorer {
  public:
   /// Properly colors `graph` with max_degree colors into `out`
-  /// (out.color is resized in place). The alternating-path backend
-  /// runs entirely out of this colorer's flat scratch; the
-  /// divide-and-conquer backends still build transient subgraphs
-  /// internally.
+  /// (out.color is resized in place).
   void color(const BipartiteMultigraph& graph,
              ColoringAlgorithm algorithm, EdgeColoring& out);
 
@@ -90,6 +96,27 @@ class POPS_THREAD_COMPATIBLE EdgeColorer {
   void assign_color(int delta, int e, int u, int v, int c,
                     EdgeColoring& out);
 
+  // Divide-and-conquer machinery. The recursion is an explicit stack
+  // of ranges [lo, hi) of dc_work_ (edge ids into dc_edges_), each
+  // delta-regular on the padded vertex set and owning the color block
+  // [base, base + delta).
+  struct DncRange {
+    int lo;
+    int hi;
+    int delta;
+    int base;
+  };
+  int setup_regular(const BipartiteMultigraph& graph, int delta);
+  void build_range_view(int lo, int hi);
+  void split_range(int lo, int hi);
+  int peel_matching(int lo, int hi, int color_value);
+  void color_dnc(const BipartiteMultigraph& graph, int delta,
+                 int bottom_degree, EdgeColoring& out);
+  void color_matching_peel(const BipartiteMultigraph& graph, int delta,
+                           EdgeColoring& out);
+  void finish_dnc(const BipartiteMultigraph& graph, int delta,
+                  EdgeColoring& out);
+
   // Alternating-path scratch. The slot arrays are vertex-major flat
   // tables: slot[vertex * delta + color] is the edge with that color
   // at that vertex, or -1.
@@ -102,6 +129,20 @@ class POPS_THREAD_COMPATIBLE EdgeColorer {
   std::vector<int> slot_b_;
   std::vector<char> walked_;
   std::vector<int> spread_path_;
+  // Divide-and-conquer scratch: the padded regularized edge array and
+  // the flat work/side/color arrays the range kernels index into.
+  int regular_n_ = 0;           // padded per-side vertex count
+  std::vector<Edge> dc_edges_;  // real edges first, then padding
+  std::vector<int> dc_color_;   // per padded edge id
+  std::vector<int> dc_work_;    // permutation of padded edge ids
+  std::vector<int> dc_aux_;     // stable-partition spill buffer
+  std::vector<int> dc_side_;    // Euler-split side per padded edge id
+  std::vector<int> dc_deg_left_;
+  std::vector<int> dc_deg_right_;
+  std::vector<DncRange> dc_stack_;
+  CsrAdjacency dc_adj_;
+  EulerSplitKernel dc_euler_;
+  MatchingKernel dc_matching_;
 };
 
 /// Properly colors the edges of any bipartite multigraph with

@@ -1,87 +1,70 @@
 #include "graph/euler_split.h"
 
 namespace pops {
-namespace {
 
-// Combined vertex ids: left vertices are [0, L), right vertices are
-// [L, L + R).
-struct TrailWalker {
-  explicit TrailWalker(const BipartiteMultigraph& graph)
-      : graph(graph),
-        left_count(graph.left_count()),
-        cursor(as_size(graph.left_count() + graph.right_count()), 0),
-        used(as_size(graph.edge_count()), false),
-        side(as_size(graph.edge_count()), -1) {}
+// Next unused edge at vertex, or -1. The cursor makes the total walk
+// linear in the number of edges.
+int EulerSplitKernel::next_unused(const CsrAdjacency& adj, int vertex) {
+  const int* incident = adj.incidence().data();
+  const int end = adj.offsets()[as_size(vertex + 1)];
+  int& at = cursor_[as_size(vertex)];
+  while (at < end && used_stamp_[as_size(incident[at])] == epoch_) ++at;
+  return at < end ? incident[at] : -1;
+}
 
-  int degree(int vertex) const {
-    return vertex < left_count
-               ? graph.left_degree(vertex)
-               : graph.right_degree(vertex - left_count);
+// Walks a maximal trail from start, assigning alternating sides
+// beginning with side 0.
+void EulerSplitKernel::walk(const CsrAdjacency& adj, const Edge* edges,
+                            int start, int* side) {
+  const int left_count = adj.left_count();
+  int vertex = start;
+  int next_side = 0;
+  while (true) {
+    const int edge_id = next_unused(adj, vertex);
+    if (edge_id < 0) break;
+    used_stamp_[as_size(edge_id)] = epoch_;
+    side[edge_id] = next_side;
+    next_side = 1 - next_side;
+    const Edge& e = edges[edge_id];
+    vertex = vertex < left_count ? left_count + e.right : e.left;
   }
+}
 
-  const std::vector<int>& incident(int vertex) const {
-    return vertex < left_count
-               ? graph.edges_at_left(vertex)
-               : graph.edges_at_right(vertex - left_count);
+void EulerSplitKernel::split(const CsrAdjacency& adj,
+                             Span<const Edge> edges, Span<int> side) {
+  const int vertex_count = adj.vertex_count();
+  ++epoch_;
+  // Stamps never need clearing: an entry is "used" only when it holds
+  // the current epoch. resize keeps old stamps valid (always < epoch_)
+  // and zero-fills growth.
+  if (used_stamp_.size() < edges.size()) {
+    used_stamp_.resize(edges.size(), 0);
   }
-
-  int other_endpoint(int edge_id, int vertex) const {
-    const Edge& e = graph.edge(edge_id);
-    return vertex < left_count ? left_count + e.right : e.left;
-  }
-
-  // Next unused edge at vertex, or -1. cursor makes the total walk
-  // linear in the number of edges.
-  int next_unused(int vertex) {
-    const std::vector<int>& list = incident(vertex);
-    std::size_t& at = cursor[as_size(vertex)];
-    while (at < list.size() && used[as_size(list[at])]) ++at;
-    return at < list.size() ? list[at] : -1;
-  }
-
-  // Walks a maximal trail from start, assigning alternating sides
-  // beginning with side 0.
-  void walk(int start) {
-    int vertex = start;
-    int next_side = 0;
-    while (true) {
-      const int edge_id = next_unused(vertex);
-      if (edge_id < 0) break;
-      used[as_size(edge_id)] = true;
-      side[as_size(edge_id)] = next_side;
-      next_side = 1 - next_side;
-      vertex = other_endpoint(edge_id, vertex);
-    }
-  }
-
-  const BipartiteMultigraph& graph;
-  int left_count;
-  std::vector<std::size_t> cursor;
-  std::vector<bool> used;
-  std::vector<int> side;
-};
-
-}  // namespace
-
-EulerSplitResult euler_split(const BipartiteMultigraph& graph) {
-  TrailWalker walker(graph);
-  const int vertex_count = graph.left_count() + graph.right_count();
+  cursor_.assign(adj.offsets().begin(), adj.offsets().end() - 1);
+  const Edge* endpoint = edges.data();
+  int* out = side.data();
 
   // Phase 1: trails out of odd-degree vertices. Each such trail ends at
   // another odd-degree vertex, and afterwards both endpoints carry an
   // imbalance of exactly 1 while every pass-through stays balanced.
   for (int v = 0; v < vertex_count; ++v) {
-    if (walker.degree(v) % 2 == 1) walker.walk(v);
+    if (adj.degree(v) % 2 == 1) walk(adj, endpoint, v, out);
   }
   // Phase 2: the remaining graph has even degree everywhere, so every
   // maximal trail is a closed circuit of even length (bipartite), which
   // alternation splits exactly in half at every vertex.
   for (int v = 0; v < vertex_count; ++v) {
-    while (walker.next_unused(v) >= 0) walker.walk(v);
+    while (next_unused(adj, v) >= 0) walk(adj, endpoint, v, out);
   }
+}
 
+EulerSplitResult euler_split(const BipartiteMultigraph& graph) {
+  CsrAdjacency adj;
+  adj.build(graph);
+  EulerSplitKernel kernel;
   EulerSplitResult result;
-  result.side = std::move(walker.side);
+  result.side.assign(as_size(graph.edge_count()), -1);
+  kernel.split(adj, Span<const Edge>(graph.edges()), result.side);
   return result;
 }
 

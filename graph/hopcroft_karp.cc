@@ -7,85 +7,136 @@ namespace {
 
 constexpr int kInf = std::numeric_limits<int>::max();
 
-struct HopcroftKarp {
-  explicit HopcroftKarp(const BipartiteMultigraph& graph)
-      : graph(graph),
-        match_left(as_size(graph.left_count()), -1),
-        match_right(as_size(graph.right_count()), -1),
-        dist(as_size(graph.left_count()), kInf),
-        queue(as_size(graph.left_count())) {}
+}  // namespace
 
-  // BFS over left vertices: layers of shortest alternating paths from
-  // free left vertices. Returns true when some free right vertex is
-  // reachable.
-  bool bfs() {
-    int head = 0;
-    int tail = 0;
-    for (int l = 0; l < graph.left_count(); ++l) {
-      if (match_left[as_size(l)] < 0) {
-        dist[as_size(l)] = 0;
-        queue[as_size(tail++)] = l;
-      } else {
-        dist[as_size(l)] = kInf;
-      }
+// BFS over left vertices: layers of shortest alternating paths from
+// free left vertices. Returns true when some free right vertex is
+// reachable.
+bool MatchingKernel::bfs(const CsrAdjacency& adj, const Edge* edges) {
+  const int left_count = adj.left_count();
+  const int* offset = adj.offsets().data();
+  const int* incident = adj.incidence().data();
+  int* dist = dist_.data();
+  int* queue = queue_.data();
+  int head = 0;
+  int tail = 0;
+  for (int l = 0; l < left_count; ++l) {
+    if (match_left_[as_size(l)] < 0) {
+      dist[l] = 0;
+      queue[tail++] = l;
+    } else {
+      dist[l] = kInf;
     }
-    bool found = false;
-    while (head < tail) {
-      const int l = queue[as_size(head++)];
-      for (const int edge_id : graph.edges_at_left(l)) {
-        const int r = graph.edge(edge_id).right;
-        const int back = match_right[as_size(r)];
-        if (back < 0) {
-          found = true;
-        } else {
-          const int l2 = graph.edge(back).left;
-          if (dist[as_size(l2)] == kInf) {
-            dist[as_size(l2)] = dist[as_size(l)] + 1;
-            queue[as_size(tail++)] = l2;
-          }
+  }
+  bool found = false;
+  while (head < tail) {
+    const int l = queue[head++];
+    const int layer = dist[l] + 1;
+    const int end = offset[l + 1];
+    for (int at = offset[l]; at < end; ++at) {
+      const int r = edges[incident[at]].right;
+      const int back = match_right_[as_size(r)];
+      if (back < 0) {
+        found = true;
+      } else {
+        const int l2 = edges[back].left;
+        if (dist[l2] == kInf) {
+          dist[l2] = layer;
+          queue[tail++] = l2;
         }
       }
     }
-    return found;
   }
+  return found;
+}
 
-  bool dfs(int l) {
-    for (const int edge_id : graph.edges_at_left(l)) {
-      const int r = graph.edge(edge_id).right;
-      const int back = match_right[as_size(r)];
-      if (back < 0 || (dist[as_size(graph.edge(back).left)] ==
-                           dist[as_size(l)] + 1 &&
-                       dfs(graph.edge(back).left))) {
-        match_left[as_size(l)] = edge_id;
-        match_right[as_size(r)] = edge_id;
+// Iterative layered DFS from a free left vertex. Frame i holds the
+// left vertex stack_l_[i], its incidence cursor stack_at_[i], and —
+// once the frame descends or augments — the edge stack_e_[i] it took.
+// On reaching a free right vertex the whole stack is an augmenting
+// path, flipped in one pass.
+bool MatchingKernel::try_augment(const CsrAdjacency& adj,
+                                 const Edge* edges, int root) {
+  const int* offset = adj.offsets().data();
+  const int* incident = adj.incidence().data();
+  int* dist = dist_.data();
+  int* stack_l = stack_l_.data();
+  int* stack_at = stack_at_.data();
+  int* stack_e = stack_e_.data();
+  int top = 0;
+  stack_l[0] = root;
+  stack_at[0] = offset[root];
+  while (top >= 0) {
+    const int cur = stack_l[top];
+    const int end = offset[cur + 1];
+    int at = stack_at[top];
+    bool descended = false;
+    while (at < end) {
+      const int edge_id = incident[at++];
+      const int r = edges[edge_id].right;
+      const int back = match_right_[as_size(r)];
+      if (back < 0) {
+        stack_e[top] = edge_id;
+        for (int i = 0; i <= top; ++i) {
+          const int e = stack_e[i];
+          match_left_[as_size(stack_l[i])] = e;
+          match_right_[as_size(edges[e].right)] = e;
+        }
         return true;
       }
+      const int l2 = edges[back].left;
+      if (dist[l2] == dist[cur] + 1) {
+        stack_e[top] = edge_id;
+        stack_at[top] = at;
+        ++top;
+        stack_l[top] = l2;
+        stack_at[top] = offset[l2];
+        descended = true;
+        break;
+      }
     }
-    dist[as_size(l)] = kInf;
-    return false;
+    if (!descended) {
+      dist[cur] = kInf;
+      --top;
+    }
   }
+  return false;
+}
 
-  const BipartiteMultigraph& graph;
-  std::vector<int> match_left;
-  std::vector<int> match_right;
-  std::vector<int> dist;
-  std::vector<int> queue;
-};
-
-}  // namespace
-
-MatchingResult maximum_matching(const BipartiteMultigraph& graph) {
-  HopcroftKarp hk(graph);
-  MatchingResult result;
-  while (hk.bfs()) {
-    for (int l = 0; l < graph.left_count(); ++l) {
-      if (hk.match_left[as_size(l)] < 0 && hk.dfs(l)) {
-        ++result.size;
+int MatchingKernel::match(const CsrAdjacency& adj,
+                          Span<const Edge> edges) {
+  const int left_count = adj.left_count();
+  const int right_count = adj.vertex_count() - left_count;
+  match_left_.assign(as_size(left_count), -1);
+  match_right_.assign(as_size(right_count), -1);
+  dist_.resize(as_size(left_count));
+  queue_.resize(as_size(left_count));
+  stack_l_.resize(as_size(left_count + 1));
+  stack_at_.resize(as_size(left_count + 1));
+  stack_e_.resize(as_size(left_count + 1));
+  const Edge* endpoint = edges.data();
+  int size = 0;
+  while (bfs(adj, endpoint)) {
+    for (int l = 0; l < left_count; ++l) {
+      if (match_left_[as_size(l)] < 0 &&
+          try_augment(adj, endpoint, l)) {
+        ++size;
       }
     }
   }
-  result.left_edge = std::move(hk.match_left);
-  result.right_edge = std::move(hk.match_right);
+  return size;
+}
+
+MatchingResult maximum_matching(const BipartiteMultigraph& graph) {
+  CsrAdjacency adj;
+  adj.build(graph);
+  MatchingKernel kernel;
+  MatchingResult result;
+  result.size = kernel.match(adj, Span<const Edge>(graph.edges()));
+  result.left_edge.assign(kernel.left_edges().begin(),
+                          kernel.left_edges().end());
+  result.right_edge.assign(kernel.right_edges().begin(),
+                           kernel.right_edges().end());
   return result;
 }
 

@@ -17,9 +17,11 @@
 // them. Every number the benches print comes from a schedule that went
 // through this simulator. Schedules arrive either in the legacy
 // vector<SlotPlan> layout or as FlatSchedule slot spans; all slot
-// bookkeeping lives in stamped scratch arrays owned by the Network, so
-// executing a slot performs no heap allocation once the per-processor
-// buffers are warm.
+// bookkeeping lives in stamped scratch arrays owned by the Network,
+// and the packets themselves live in one pooled SoA slab (fixed-stride
+// per-processor regions over five parallel field arrays), so executing
+// a slot strides contiguous memory and performs no heap allocation
+// once the slab is warm.
 #pragma once
 
 #include <string>
@@ -106,6 +108,69 @@ struct NetworkStats {
   }
 };
 
+/// Non-owning view of one processor's packets inside the Network's
+/// pooled SoA slab. operator[] (and the iterator) gathers a Packet by
+/// value from the five parallel field arrays; range-for with
+/// `const Packet&` binds the gathered temporary as usual. Valid until
+/// the next mutating Network call (loading, executing, or resetting
+/// may grow or rewrite the slab).
+class PacketBufferView {
+ public:
+  PacketBufferView(const int* id, const int* source,
+                   const int* destination, const int* size,
+                   const int* hops, int count)
+      : id_(id),
+        source_(source),
+        destination_(destination),
+        size_(size),
+        hops_(hops),
+        count_(count) {}
+
+  std::size_t size() const { return as_size(count_); }
+  int count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  Packet operator[](std::size_t i) const {
+    POPS_CHECK(i < as_size(count_),
+               "PacketBufferView index out of range");
+    return Packet{id_[i], source_[i], destination_[i], size_[i],
+                  hops_[i]};
+  }
+
+  /// Gather iterator over the view it came from; the view must stay
+  /// alive for as long as its iterators (range-for guarantees this).
+  class Iterator {
+   public:
+    Iterator(const PacketBufferView* view, int at)
+        : view_(view), at_(at) {}
+    Packet operator*() const { return (*view_)[as_size(at_)]; }
+    Iterator& operator++() {
+      ++at_;
+      return *this;
+    }
+    bool operator==(const Iterator& other) const {
+      return at_ == other.at_;
+    }
+    bool operator!=(const Iterator& other) const {
+      return at_ != other.at_;
+    }
+
+   private:
+    const PacketBufferView* view_;
+    int at_;
+  };
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, count_); }
+
+ private:
+  const int* id_;
+  const int* source_;
+  const int* destination_;
+  const int* size_;
+  const int* hops_;
+  int count_;
+};
+
 class POPS_THREAD_COMPATIBLE Network {
  public:
   explicit Network(const Topology& topo);
@@ -146,8 +211,18 @@ class POPS_THREAD_COMPATIBLE Network {
 
   const Topology& topology() const { return topo_; }
   const NetworkStats& stats() const { return stats_; }
-  const std::vector<Packet>& buffer(int processor) const {
-    return buffers_[as_size(processor)];
+  /// The packets currently held at `processor`, as a gather view into
+  /// the SoA slab. Withdrawal is swap-and-pop, so buffer order is an
+  /// implementation detail — delivery semantics never depend on it.
+  PacketBufferView buffer(int processor) const {
+    POPS_CHECK(processor >= 0 && processor < topo_.processor_count(),
+               "buffer: processor out of range");
+    const std::size_t base =
+        as_size(processor) * as_size(slab_stride_);
+    return PacketBufferView(
+        slab_id_.data() + base, slab_source_.data() + base,
+        slab_destination_.data() + base, slab_size_.data() + base,
+        slab_hops_.data() + base, buffer_count_[as_size(processor)]);
   }
   int packet_count() const { return packet_count_; }
 
@@ -184,8 +259,24 @@ class POPS_THREAD_COMPATIBLE Network {
     return false;
   }
 
+  /// Widens every per-processor slab region to `new_stride` packets,
+  /// shifting occupied prefixes in place (back to front, so rows never
+  /// overwrite each other). No-op when new_stride <= slab_stride_.
+  void grow_stride(int new_stride);
+
   Topology topo_;
-  std::vector<std::vector<Packet>> buffers_;  // per processor
+  // Pooled SoA packet slab: processor p's packets occupy indices
+  // [p * slab_stride_, p * slab_stride_ + buffer_count_[p]) of five
+  // parallel field arrays. Fixed stride keeps rows independent, so
+  // loading and delivering are O(1) appends and withdrawal is a
+  // swap-and-pop instead of vector::erase's O(k) shift.
+  int slab_stride_ = 0;
+  std::vector<int> buffer_count_;  // per processor
+  std::vector<int> slab_id_;
+  std::vector<int> slab_source_;
+  std::vector<int> slab_destination_;
+  std::vector<int> slab_size_;
+  std::vector<int> slab_hops_;
   int packet_count_ = 0;
   NetworkStats stats_;
   std::string failure_;

@@ -37,9 +37,10 @@ RoutingEngine::RoutingEngine(const Topology& topo,
   coupler_offset_.reserve(as_size(topo_.coupler_count() + 1));
   coupler_queue_.reserve(as_size(n));
   image_seen_stamp_.assign(as_size(n), 0);
-  zero_alloc_eligible_ =
-      options_.coloring == ColoringAlgorithm::kAlternatingPath ||
-      topo_.d() == 1;
+  // Every coloring backend now runs out of flat colorer-owned scratch,
+  // so the zero-allocation contract holds regardless of
+  // options_.coloring.
+  zero_alloc_eligible_ = true;
 }
 
 const FlatSchedule& RoutingEngine::route(const Permutation& pi,

@@ -22,12 +22,13 @@
 // multigraphs, the edge colorings, the fair-distribution scratch, the
 // coupler queues of the direct router, the verification Network of the
 // portfolio, and the emitted FlatSchedules — and rebuilds them in
-// place per permutation. With the default alternating-path coloring
-// backend, routing performs no heap allocation at all after one
-// warm-up call per strategy (asserted by tests that compare
-// scratch_footprint() across calls); the divide-and-conquer backends
-// still build transient subgraphs inside EdgeColorer::color, so the
-// zero-allocation contract is scoped to the default.
+// place per permutation. Routing performs no heap allocation at all
+// after one warm-up call per strategy (asserted by tests that compare
+// scratch_footprint() across calls) with every coloring backend: the
+// alternating-path backend runs on flat slot tables, and the
+// divide-and-conquer backends run iteratively over index ranges of
+// one padded edge array inside EdgeColorer, so none of them builds
+// transient subgraphs.
 #pragma once
 
 #include <iosfwd>
@@ -127,10 +128,9 @@ class POPS_THREAD_COMPATIBLE RoutingEngine {
   ScratchFootprint scratch_footprint() const;
 
   /// True when the engine enforces the zero-allocation contract on its
-  /// route entry points under POPS_ALLOC_GUARD builds: the default
-  /// alternating-path coloring backend (or the trivial d == 1 case).
-  /// The divide-and-conquer backends build transient subgraphs inside
-  /// EdgeColorer::color, so their routes stay unguarded.
+  /// route entry points under POPS_ALLOC_GUARD builds. Since the flat
+  /// kernel rewrite every coloring backend qualifies, so this is
+  /// always true; it stays on the API as the contract's name.
   bool zero_alloc_eligible() const { return zero_alloc_eligible_; }
 
  private:

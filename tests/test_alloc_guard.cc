@@ -121,6 +121,51 @@ POPS_TEST(WarmEngineInsideBanIsClean) {
   EXPECT_TRUE(schedule.slot_count() > 0);
 }
 
+POPS_TEST(ColdEngineInsideBanAbortsForEveryColoringBackend) {
+  // Same seeded violation as above, but routed through each
+  // divide-and-conquer backend: the first call must size the flat
+  // D&C scratch (padded edge array, CSR view, kernel arrays), so a
+  // cold route under an external ban aborts for every backend.
+  for (const auto algorithm : kAllColoringAlgorithms) {
+    EXPECT_ABORTS_WITH(
+        {
+          const Topology topo(4, 4);
+          RouterOptions options;
+          options.coloring = algorithm;
+          RoutingEngine engine(topo, options);
+          Rng rng(7);
+          const Permutation pi =
+              Permutation::random(topo.processor_count(), rng);
+          ScopedAllocationBan ban("test: cold backend route");
+          engine.route_permutation(pi);
+        },
+        "banned scope 'test: cold backend route'");
+  }
+}
+
+POPS_TEST(WarmEngineInsideBanIsCleanForEveryColoringBackend) {
+  // The positive control: every coloring backend is zero-alloc
+  // eligible since the flat kernel rewrite, so a warm engine routes
+  // under a live external ban without tripping it — including the
+  // engine's own (now armed) entry-point ban underneath.
+  for (const auto algorithm : kAllColoringAlgorithms) {
+    const Topology topo(4, 4);
+    RouterOptions options;
+    options.coloring = algorithm;
+    RoutingEngine engine(topo, options);
+    EXPECT_TRUE(engine.zero_alloc_eligible());
+    Rng rng(7);
+    const Permutation warm_up =
+        Permutation::random(topo.processor_count(), rng);
+    engine.route_best(warm_up);  // warms all strategies + verifier
+    const Permutation steady =
+        Permutation::random(topo.processor_count(), rng);
+    ScopedAllocationBan ban("test: warm backend route");
+    const FlatSchedule& schedule = engine.route_best(steady);
+    EXPECT_TRUE(schedule.slot_count() > 0);
+  }
+}
+
 POPS_TEST(ShrunkServerReservesTripTheWindowBan) {
   // debug_shrink_reserves skips the constructor's arena reserves and
   // priming but still arms the steady-state ban: the first window's

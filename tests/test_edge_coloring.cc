@@ -77,6 +77,36 @@ POPS_TEST(EveryBackendColorsIrregularGraphs) {
   }
 }
 
+POPS_TEST(EveryBackendHasFlatScratchAcrossSameShapedGraphs) {
+  // The flatness contract: after one warm-up coloring, repeated
+  // colorings of same-shaped graphs never grow any colorer-owned
+  // scratch — for ALL four backends, now that the divide-and-conquer
+  // ones run iteratively over the padded flat edge array instead of
+  // building transient subgraphs.
+  for (const auto algorithm : kAllColoringAlgorithms) {
+    Rng rng(31);
+    EdgeColorer colorer;
+    EdgeColoring out;
+    {
+      const BipartiteMultigraph warm_up = random_regular(12, 6, rng);
+      colorer.color(warm_up, algorithm, out);
+    }
+    const std::size_t warm = colorer.scratch_capacity();
+    EXPECT_TRUE(warm > 0);
+    for (int trial = 0; trial < 1000; ++trial) {
+      const BipartiteMultigraph g = random_regular(12, 6, rng);
+      colorer.color(g, algorithm, out);
+      EXPECT_EQ(colorer.scratch_capacity(), warm);
+    }
+    // The soak is about capacities; spot-check validity once at the
+    // end so a silently-broken kernel cannot pass as "flat".
+    const BipartiteMultigraph last = random_regular(12, 6, rng);
+    colorer.color(last, algorithm, out);
+    EXPECT_TRUE(is_valid_edge_coloring(last, out));
+    EXPECT_EQ(colorer.scratch_capacity(), warm);
+  }
+}
+
 POPS_TEST(ValidationRejectsBrokenColorings) {
   BipartiteMultigraph g(2, 2);
   g.add_edge(0, 0);

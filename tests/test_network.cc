@@ -201,6 +201,123 @@ POPS_TEST(RejectsPhantomPacket) {
               std::string::npos);
 }
 
+POPS_TEST(WithdrawalOrderCarriesNoSemantics) {
+  // Withdrawal is a swap-and-pop: sending the front packet moves the
+  // row's last packet into its slot. Delivery resolves packets by id,
+  // so the permuted buffer order must never be observable.
+  const Topology topo(2, 2);
+  Network net(topo);
+  net.load_packet(Packet{10, 0, 1, 1, 0});
+  net.load_packet(Packet{11, 0, 2, 1, 0});
+  net.load_packet(Packet{12, 0, 3, 1, 0});
+  SlotPlan first;
+  first.transmissions.push_back(Transmission{0, 1, 10});
+  EXPECT_TRUE(net.execute_slot(first));
+  EXPECT_EQ(net.buffer(0).size(), std::size_t{2});
+  bool seen11 = false;
+  bool seen12 = false;
+  for (const Packet& packet : net.buffer(0)) {
+    seen11 = seen11 || packet.id == 11;
+    seen12 = seen12 || packet.id == 12;
+  }
+  EXPECT_TRUE(seen11);
+  EXPECT_TRUE(seen12);
+  SlotPlan second;
+  second.transmissions.push_back(Transmission{0, 2, 11});
+  EXPECT_TRUE(net.execute_slot(second));
+  SlotPlan third;
+  third.transmissions.push_back(Transmission{0, 3, 12});
+  EXPECT_TRUE(net.execute_slot(third));
+  EXPECT_TRUE(net.all_delivered());
+  EXPECT_EQ(net.buffer(1)[0].id, 10);
+  EXPECT_EQ(net.buffer(2)[0].id, 11);
+  EXPECT_EQ(net.buffer(3)[0].id, 12);
+}
+
+POPS_TEST(AnyPacketSendRequiresExactlyOnePacket) {
+  // The destination == -1 "any" path is only legal when the buffer
+  // holds exactly one packet, so it cannot observe buffer order either
+  // — together with the lookup-by-id path this makes the swap-and-pop
+  // reordering fully unobservable.
+  const Topology topo(2, 2);
+  {
+    Network net(topo);
+    net.load_packet(Packet{20, 0, -1, 1, 0});
+    net.load_packet(Packet{21, 0, -1, 1, 0});
+    SlotPlan slot;
+    slot.transmissions.push_back(Transmission{0, 1, -1});
+    EXPECT_FALSE(net.execute_slot(slot));
+    EXPECT_TRUE(net.failure().find(
+                    "asked to send 'any' packet but holds 2") !=
+                std::string::npos);
+  }
+  {
+    // After a by-id withdrawal leaves exactly one packet, "any"
+    // succeeds on the survivor regardless of where the swap left it.
+    Network net(topo);
+    net.load_packet(Packet{20, 0, 1, 1, 0});
+    net.load_packet(Packet{21, 0, -1, 1, 0});
+    SlotPlan first;
+    first.transmissions.push_back(Transmission{0, 1, 20});
+    EXPECT_TRUE(net.execute_slot(first));
+    SlotPlan any;
+    any.transmissions.push_back(Transmission{0, 2, -1});
+    EXPECT_TRUE(net.execute_slot(any));
+    EXPECT_EQ(net.buffer(2).size(), std::size_t{1});
+    EXPECT_EQ(net.buffer(2)[0].id, 21);
+  }
+}
+
+POPS_TEST(RejectsOutOfRangeTransmissionsAtomically) {
+  // Range checks are fused into the validation pass; a bad entry after
+  // valid ones must still reject the whole slot with nothing moved.
+  const Topology topo(2, 2);
+  Network net(topo);
+  net.load_permutation_traffic(vector_reversal(4));
+  SlotPlan slot;
+  slot.transmissions.push_back(Transmission{0, 3, 0});
+  slot.transmissions.push_back(Transmission{4, 0, 1});
+  EXPECT_FALSE(net.execute_slot(slot));
+  EXPECT_TRUE(net.failure().find("source processor 4 out of range") !=
+              std::string::npos);
+  EXPECT_EQ(net.buffer(0).size(), std::size_t{1});
+
+  Network net2(topo);
+  net2.load_permutation_traffic(vector_reversal(4));
+  SlotPlan bad_destination;
+  bad_destination.transmissions.push_back(Transmission{0, -1, 0});
+  EXPECT_FALSE(net2.execute_slot(bad_destination));
+  EXPECT_TRUE(net2.failure().find(
+                  "destination processor -1 out of range") !=
+              std::string::npos);
+}
+
+POPS_TEST(SlabGrowthPreservesQueuedPackets) {
+  // Overflowing one processor's fixed-stride slab region re-strides the
+  // whole slab; every other processor's row must move intact.
+  const Topology topo(2, 2);
+  Network net(topo);
+  net.load_packet(Packet{1, 0, 3, 1, 0});
+  net.load_packet(Packet{2, 2, 3, 1, 0});
+  net.load_packet(Packet{3, 3, 0, 1, 0});
+  for (int k = 0; k < 9; ++k) {
+    net.load_packet(Packet{10 + k, 1, k % 4, 1, 0});
+  }
+  EXPECT_EQ(net.packet_count(), 12);
+  EXPECT_EQ(net.buffer(0).size(), std::size_t{1});
+  EXPECT_EQ(net.buffer(0)[0].id, 1);
+  EXPECT_EQ(net.buffer(2).size(), std::size_t{1});
+  EXPECT_EQ(net.buffer(2)[0].id, 2);
+  EXPECT_EQ(net.buffer(3).size(), std::size_t{1});
+  EXPECT_EQ(net.buffer(3)[0].id, 3);
+  EXPECT_EQ(net.buffer(1).size(), std::size_t{9});
+  bool seen[9] = {};
+  for (const Packet& packet : net.buffer(1)) {
+    seen[packet.id - 10] = true;
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
 POPS_TEST(ResetAndReloadClearFailures) {
   const Topology topo(2, 2);
   Network net(topo);
